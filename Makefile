@@ -1,0 +1,36 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-paper figures examples coverage clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-log:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-log:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+bench-paper:
+	REPRO_PAPER_SCALE=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) examples/paper_figures.py
+
+figures-quick:
+	$(PYTHON) examples/paper_figures.py --quick
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex =="; $(PYTHON) $$ex || exit 1; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

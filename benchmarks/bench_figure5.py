@@ -1,0 +1,44 @@
+"""Figure 5: average ψ vs service aggregation request rate (no churn).
+
+Paper: "the average success ratio of the QSA algorithm is always higher
+than the other two heuristic algorithms under all request rates"; random
+sits between QSA and fixed; all curves fall as the request rate grows.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure5
+from repro.experiments.reporting import banner, format_sweep_table
+
+RATES = (50, 100, 200, 400, 600, 800, 1000)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure5_success_ratio_vs_request_rate(benchmark, fig_horizon):
+    sweep = benchmark.pedantic(
+        figure5,
+        kwargs={"rates": RATES, "horizon": fig_horizon, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(banner(
+        "Figure 5 -- average service aggregation request success ratio",
+        f"vs request rate (req/min, paper units); horizon={fig_horizon} min, "
+        "no topological variation",
+    ))
+    print(format_sweep_table(sweep.x_label, sweep.x_values, sweep.ratios))
+
+    qsa, rnd, fix = sweep.ratios["qsa"], sweep.ratios["random"], sweep.ratios["fixed"]
+    # Shape claim 1: QSA is on top at every rate.
+    for i in range(len(RATES)):
+        assert qsa[i] >= rnd[i], f"QSA below random at rate {RATES[i]}"
+        assert qsa[i] >= fix[i], f"QSA below fixed at rate {RATES[i]}"
+    # Shape claim 2: random beats fixed ("much higher success ratios").
+    assert sum(rnd) > sum(fix)
+    # Shape claim 3: load hurts -- every algorithm ends below where it started.
+    assert qsa[-1] < qsa[0] + 0.02
+    assert fix[-1] < fix[0]
+    # Shape claim 4: the QSA-fixed gap is large (paper: up to ~90%).
+    assert max(q - f for q, f in zip(qsa, fix)) > 0.5

@@ -1,0 +1,51 @@
+"""Figure 7: average ψ vs topological variation rate (peers/min).
+
+Paper: rate fixed at 100 req/min over 60 minutes; "QSA tolerates
+topological variation best and uniformly achieves the highest success
+ratio", and "the performance of P2P systems is very sensitive to the
+topological variation, even with a small number of peer
+arrivals/departures (<= 2% total peers)".
+"""
+
+import pytest
+
+from repro.experiments.figures import figure7
+from repro.experiments.reporting import banner, format_sweep_table
+
+CHURN_RATES = (0, 25, 50, 100, 150, 200)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure7_success_ratio_vs_churn(benchmark):
+    sweep = benchmark.pedantic(
+        figure7,
+        kwargs={
+            "churn_rates": CHURN_RATES,
+            "rate": 100.0,
+            "horizon": 60.0,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(banner(
+        "Figure 7 -- average success ratio vs topological variation rate",
+        "request rate = 100 req/min (paper units), 60 minutes",
+    ))
+    print(format_sweep_table(sweep.x_label, sweep.x_values, sweep.ratios))
+
+    qsa = sweep.ratios["qsa"]
+    rnd = sweep.ratios["random"]
+    fix = sweep.ratios["fixed"]
+    # QSA uniformly highest.
+    for i in range(len(CHURN_RATES)):
+        assert qsa[i] >= rnd[i] - 0.02
+        assert qsa[i] >= fix[i]
+    # Sensitivity: moderate churn already costs QSA noticeably.
+    assert qsa[3] < qsa[0] - 0.05
+    # Tolerance ordering: QSA retains more of its churn-free ψ than random.
+    qsa_retention = qsa[-1] / max(qsa[0], 1e-9)
+    rnd_retention = rnd[-1] / max(rnd[0], 1e-9)
+    assert qsa_retention >= rnd_retention - 0.10

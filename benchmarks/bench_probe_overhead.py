@@ -1,0 +1,46 @@
+"""Claim C2: probing overhead is controlled to M/N (§2.2, §4.1).
+
+Paper: "the maximum number of neighbor peers any peer can probe (M) is
+100 so as to control the probing overhead within 100/10000 = 1%."  The
+bench runs a loaded QSA experiment and reports the measured mean
+neighbor-table occupancy per peer relative to the population, which the
+budget must cap at M/N.
+"""
+
+import pytest
+
+from repro.experiments.config import default_scale
+from repro.experiments.reporting import banner, format_sweep_table
+from repro.experiments.runner import run_experiment
+
+
+@pytest.mark.benchmark(group="claims")
+def test_probe_overhead_bounded_by_budget(benchmark):
+    cfg = default_scale(rate_per_min=200, horizon=30.0, seed=0)
+
+    result = benchmark.pedantic(
+        run_experiment, args=(cfg.with_algorithm("qsa"),), rounds=1, iterations=1
+    )
+
+    n_peers = cfg.grid.n_peers
+    budget = cfg.grid.probing.budget
+    bound = budget / n_peers
+    print()
+    print(banner(
+        "Claim C2 -- probing overhead controlled to M/N",
+        f"N={n_peers} peers, M={budget}, target bound={bound:.2%}",
+    ))
+    print(format_sweep_table(
+        "quantity",
+        [0],
+        {
+            "measured": [result.probe_overhead],
+            "bound M/N": [bound],
+        },
+        value_format="{:8.4f}",
+    ))
+    print(f"probe messages: {result.metrics.n_requests} requests, "
+          f"mean lookup hops {result.mean_lookup_hops:.2f}")
+
+    assert result.probe_overhead <= bound + 1e-9
+    assert result.probe_overhead > 0.0

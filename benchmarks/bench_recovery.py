@@ -1,0 +1,56 @@
+"""Extension E1: runtime failure detection and recovery under churn.
+
+§4.2's concluding observation -- "we do need runtime failure detection
+and recovery to improve the performance" -- is the paper's future work.
+This bench implements the measurement the paper stops short of: the
+Fig. 7 churn sweep for QSA with recovery off (the paper's model) vs on
+(re-running the peer-selection tier for slots lost to departures).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.config import default_scale
+from repro.experiments.reporting import banner, format_sweep_table
+from repro.experiments.runner import run_experiment
+from repro.sessions.recovery import RecoveryConfig
+
+CHURN_RATES = (50, 100, 200)
+
+
+def run_sweep():
+    out = {"qsa (paper)": [], "qsa + recovery": []}
+    for churn in CHURN_RATES:
+        base = default_scale(
+            rate_per_min=100.0, horizon=60.0, churn_per_min=churn, seed=0
+        )
+        out["qsa (paper)"].append(
+            run_experiment(base.with_algorithm("qsa")).success_ratio
+        )
+        with_rec = replace(
+            base, grid=replace(base.grid, recovery=RecoveryConfig())
+        )
+        out["qsa + recovery"].append(
+            run_experiment(with_rec.with_algorithm("qsa")).success_ratio
+        )
+    return out
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_recovery_improves_churn_tolerance(benchmark):
+    out = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    print()
+    print(banner(
+        "Extension E1 -- runtime failure detection and recovery",
+        "Fig. 7 churn sweep, QSA with vs without session repair",
+    ))
+    print(format_sweep_table("churn (peers/min)", CHURN_RATES, out))
+
+    plain = out["qsa (paper)"]
+    repaired = out["qsa + recovery"]
+    # Recovery helps at every churn rate, and more at higher churn.
+    for p, r in zip(plain, repaired):
+        assert r > p
+    assert (repaired[-1] - plain[-1]) >= (repaired[0] - plain[0]) - 0.05

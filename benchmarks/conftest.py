@@ -1,0 +1,45 @@
+"""Shared bench configuration.
+
+Every bench prints the reproduced table/series (the rows the paper's
+figure plots) and asserts the *shape* claims -- orderings and trends --
+not absolute values.  ``REPRO_PAPER_SCALE=1`` switches to the paper's
+10^4-peer population and full horizons (slow: tens of minutes per
+figure); the default runs a 10x-reduced, load-preserving configuration.
+"""
+
+import os
+
+import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    # Benches are ordered: figures first, then claims, then ablations.
+    order = {
+        "bench_figure5": 0,
+        "bench_figure6": 1,
+        "bench_figure7": 2,
+        "bench_figure8": 3,
+        "bench_qcs_complexity": 4,
+        "bench_probe_overhead": 5,
+        "bench_chord_lookup": 6,
+        "bench_ablation_uptime": 7,
+        "bench_ablation_probe_budget": 8,
+        "bench_ablation_tiers": 9,
+        "bench_can_lookup": 10,
+        "bench_load_balance": 11,
+        "bench_lookup_substrate": 12,
+        "bench_recovery": 13,
+        "bench_sensitivity": 14,
+    }
+    items.sort(key=lambda it: order.get(it.module.__name__.split(".")[-1], 99))
+
+
+@pytest.fixture(scope="session")
+def paper_scale_active() -> bool:
+    return os.environ.get("REPRO_PAPER_SCALE", "").strip() not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def fig_horizon(paper_scale_active):
+    """Figure-5 horizon: the paper averages over 400 minutes."""
+    return 400.0 if paper_scale_active else 60.0

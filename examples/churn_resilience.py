@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Churn resilience: why peer uptime belongs in the selection metric.
+
+Reproduces the paper's second experiment set in miniature: a grid under
+increasing topological variation (peers arriving/departing every
+minute), comparing full QSA against a QSA variant whose peer selector
+ignores uptime, plus the random baseline.  Departures follow the
+heavy-tailed-lifetime pattern measured for real P2P populations (young
+peers leave first), which is exactly what makes uptime predictive.
+
+Run:  python examples/churn_resilience.py
+"""
+
+from repro import ChurnConfig, ExperimentConfig, GridConfig, WorkloadConfig
+from repro.experiments.runner import run_experiment
+
+
+def run(churn_rate: float, uptime_filter: bool, algorithm: str = "qsa"):
+    config = ExperimentConfig(
+        grid=GridConfig(
+            n_peers=800,
+            seed=23,
+            churn=(ChurnConfig(rate_per_min=churn_rate)
+                   if churn_rate > 0 else None),
+        ),
+        workload=WorkloadConfig(rate_per_min=15.0, horizon=30.0),
+    )
+    if algorithm == "qsa":
+        cfg = config.with_algorithm("qsa", uptime_filter=uptime_filter)
+    else:
+        cfg = config.with_algorithm(algorithm)
+    return run_experiment(cfg)
+
+
+def main() -> None:
+    churn_rates = (0.0, 4.0, 8.0, 16.0)
+    print("800 peers, 15 req/min for 30 min; churn in peers/min\n")
+    print(f"{'churn':>7} {'qsa':>8} {'qsa-no-uptime':>14} {'random':>8} "
+          f"{'turnover':>9}")
+    print("-" * 52)
+    for churn in churn_rates:
+        full = run(churn, uptime_filter=True)
+        blind = run(churn, uptime_filter=False)
+        rnd = run(churn, uptime_filter=True, algorithm="random")
+        turnover = full.n_arrivals + full.n_departures
+        print(f"{churn:7.0f} {full.success_ratio:8.3f} "
+              f"{blind.success_ratio:14.3f} {rnd.success_ratio:8.3f} "
+              f"{turnover:9d}")
+
+    print(
+        "\nReading: even modest churn costs every algorithm dearly (the\n"
+        "paper's point about needing runtime failure recovery), and the\n"
+        "uptime filter is what keeps full QSA ahead as churn grows."
+    )
+
+
+if __name__ == "__main__":
+    main()

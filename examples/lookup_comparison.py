@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Discovery substrates compared: Chord DHT vs Gnutella-style flooding.
+
+The paper's §1/§5 motivate structured lookup (Chord [20], CAN [16]) over
+the flooding of first-generation P2P systems.  This example measures the
+trade on the same membership: per-lookup hop counts for Chord against
+per-query message counts for TTL-bounded flooding, across ring sizes.
+
+Run:  python examples/lookup_comparison.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.lookup.chord import ChordRing
+from repro.lookup.flooding import FloodingOverlay
+
+
+def measure(n_peers: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+
+    ring = ChordRing(bits=32, seed=seed)
+    for pid in range(n_peers):
+        ring.join(pid)
+    for i in range(100):
+        ring.put(f"service:{i}", i)
+    chord_hops = []
+    for i in range(100):
+        _, hops = ring.get(f"service:{i}", from_peer=int(rng.integers(n_peers)))
+        chord_hops.append(hops)
+
+    overlay = FloodingOverlay(range(n_peers), degree=4, rng=rng)
+    holders = set(rng.choice(n_peers, size=max(1, n_peers // 50),
+                             replace=False))
+    flood_msgs, flood_found = [], 0
+    for _ in range(50):
+        result = overlay.flood(
+            int(rng.integers(n_peers)), lambda p: p in holders, ttl=6
+        )
+        flood_msgs.append(result.messages)
+        flood_found += bool(result.found)
+
+    return (
+        float(np.mean(chord_hops)),
+        float(np.mean(flood_msgs)),
+        flood_found / 50,
+    )
+
+
+def main() -> None:
+    print(f"{'N':>7} {'log2(N)':>8} {'chord hops':>11} "
+          f"{'flood msgs':>11} {'flood hit%':>11}")
+    print("-" * 52)
+    for n in (128, 512, 2048, 8192):
+        hops, msgs, hit = measure(n)
+        print(f"{n:>7} {math.log2(n):8.1f} {hops:11.2f} {msgs:11.0f} "
+              f"{hit:11.0%}")
+    print(
+        "\nChord resolves any record in ~log2(N) routed hops; flooding\n"
+        "costs messages proportional to the whole population and still\n"
+        "misses rare records when the TTL runs out -- the scalability\n"
+        "argument for DHT-based discovery in the paper, measured."
+    )
+
+
+if __name__ == "__main__":
+    main()

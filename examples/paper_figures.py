@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Reproduce all four of the paper's result figures in one command.
+
+Runs Fig. 5-8 at a configurable (default: small) scale, prints the
+tables with ASCII charts, and writes the underlying data as CSV next to
+this script, so the whole §4.2 evaluation is regenerated end to end.
+
+Run:  python examples/paper_figures.py [--quick]
+
+``--quick`` shrinks horizons further for a smoke-speed pass;
+``REPRO_PAPER_SCALE=1`` runs the literal 10^4-peer setup (slow).
+"""
+
+import argparse
+import pathlib
+
+from repro.experiments import figures
+from repro.experiments.export import series_to_csv, sweep_to_csv
+from repro.experiments.plotting import ascii_chart
+from repro.experiments.reporting import banner, format_sweep_table
+
+OUT_DIR = pathlib.Path(__file__).resolve().parent / "figure_data"
+
+
+def show_sweep(sweep, title, x_label, csv_name):
+    print()
+    print(banner(title))
+    print(format_sweep_table(sweep.x_label, sweep.x_values, sweep.ratios))
+    print()
+    print(ascii_chart(
+        {name: (sweep.x_values, ys) for name, ys in sweep.ratios.items()},
+        y_range=(0.0, 1.0), x_label=x_label, title=title,
+    ))
+    path = sweep_to_csv(sweep.x_label, sweep.x_values, sweep.ratios,
+                        OUT_DIR / csv_name)
+    print(f"[data -> {path}]")
+
+
+def show_series(series, title, csv_name):
+    print()
+    print(banner(title))
+    print(ascii_chart(
+        {name: (series.times, ys) for name, ys in series.ratios.items()},
+        y_range=(0.0, 1.0), x_label="time (min)", title=title,
+    ))
+    print("overall: " + ", ".join(
+        f"{a}={v:.3f}" for a, v in series.overall.items()))
+    path = series_to_csv(series.times, series.ratios, OUT_DIR / csv_name)
+    print(f"[data -> {path}]")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke-speed pass (coarser sweeps)")
+    args = parser.parse_args()
+    OUT_DIR.mkdir(exist_ok=True)
+
+    if args.quick:
+        rates = (100, 400, 1000)
+        churns = (0, 100, 200)
+        f5_horizon, f6_horizon, f78_horizon = 15.0, 30.0, 30.0
+    else:
+        rates = (50, 100, 200, 400, 600, 800, 1000)
+        churns = (0, 25, 50, 100, 150, 200)
+        f5_horizon, f6_horizon, f78_horizon = 60.0, 100.0, 60.0
+
+    show_sweep(
+        figures.figure5(rates, horizon=f5_horizon),
+        "Figure 5: average ψ vs request rate (no churn)",
+        "request rate (req/min, paper units)",
+        "figure5.csv",
+    )
+    show_series(
+        figures.figure6(horizon=f6_horizon),
+        "Figure 6: ψ fluctuation at 200 req/min",
+        "figure6.csv",
+    )
+    show_sweep(
+        figures.figure7(churns, horizon=f78_horizon),
+        "Figure 7: average ψ vs topological variation",
+        "churn rate (peers/min, paper units)",
+        "figure7.csv",
+    )
+    show_series(
+        figures.figure8(horizon=f78_horizon),
+        "Figure 8: ψ fluctuation under churn (100 peers/min)",
+        "figure8.csv",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""repro -- a reproduction of Gu & Nahrstedt's QoS-aware service
+aggregation model for peer-to-peer computing grids (HPDC 2002).
+
+The package implements the paper's two-tier QSA model (on-demand QCS
+service composition + dynamic Φ/uptime peer selection) together with
+every substrate it runs on: a discrete-event simulation kernel, a
+heterogeneous P2P network model with churn, a Chord DHT discovery
+service, bounded benefit-based probing, atomic multi-peer session
+admission, and the §4.1 workload/metrics harness.
+
+Quickstart::
+
+    from repro import GridConfig, P2PGrid
+
+    grid = P2PGrid(GridConfig(n_peers=500, seed=7))
+    qsa = grid.make_aggregator("qsa")
+    request = grid.make_request("video-on-demand", qos_level="high",
+                                duration=15.0)
+    result = qsa.aggregate(request)
+    print(result.status, result.peers)
+"""
+
+from repro.core import (
+    ComposedPath,
+    CompositionError,
+    FixedAggregator,
+    Interval,
+    PeerSelector,
+    PhiWeights,
+    QSAAggregator,
+    QoSVector,
+    RandomAggregator,
+    ResourceTuple,
+    ResourceVector,
+    WeightProfile,
+    compose_qcs,
+    satisfies,
+)
+from repro.core.aggregation import AggregationResult, AggregationStatus
+from repro.core.explain import explain_result
+from repro.diagnostics import check_grid_invariants
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.grid import GridConfig, P2PGrid
+from repro.network.churn import ChurnConfig
+from repro.probing.prober import ProbingConfig
+from repro.sessions.recovery import RecoveryConfig
+from repro.services import (
+    AbstractServicePath,
+    ApplicationTemplate,
+    ServiceInstance,
+    UserRequest,
+    default_applications,
+)
+from repro.sim import Simulator
+from repro.workload.generator import WorkloadConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbstractServicePath",
+    "AggregationResult",
+    "AggregationStatus",
+    "ApplicationTemplate",
+    "ChurnConfig",
+    "ComposedPath",
+    "CompositionError",
+    "ExperimentConfig",
+    "FixedAggregator",
+    "GridConfig",
+    "Interval",
+    "P2PGrid",
+    "PeerSelector",
+    "PhiWeights",
+    "ProbingConfig",
+    "QSAAggregator",
+    "QoSVector",
+    "RandomAggregator",
+    "RecoveryConfig",
+    "check_grid_invariants",
+    "explain_result",
+    "ResourceTuple",
+    "ResourceVector",
+    "ServiceInstance",
+    "Simulator",
+    "UserRequest",
+    "WeightProfile",
+    "WorkloadConfig",
+    "compose_qcs",
+    "default_applications",
+    "run_experiment",
+    "satisfies",
+    "__version__",
+]

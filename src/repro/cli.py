@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figure5`` / ``figure6`` / ``figure7`` / ``figure8``
+    Regenerate one of the paper's result figures and print its
+    table/series (same output as the benches, without pytest).
+``run``
+    One custom experiment: choose algorithm, rate, horizon, churn, seed.
+``info``
+    Package, configuration-default and scale information.
+
+Examples::
+
+    python -m repro figure5 --rates 100 400 1000 --horizon 30
+    python -m repro run --algorithm random --rate 200 --churn 50
+    REPRO_PAPER_SCALE=1 python -m repro figure7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import figures
+from repro.experiments.config import default_scale, is_paper_scale, scale_factor
+from repro.experiments.reporting import banner, format_series_table, format_sweep_table
+from repro.experiments.runner import run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Scalable QoS-Aware Service Aggregation "
+            "Model for Peer-to-Peer Computing Grids' (HPDC 2002)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    f5 = sub.add_parser("figure5", help="average ψ vs request rate")
+    f5.add_argument("--rates", type=float, nargs="+",
+                    default=[50, 100, 200, 400, 600, 800, 1000])
+    f5.add_argument("--horizon", type=float, default=60.0)
+    f5.add_argument("--seed", type=int, default=0)
+    f5.add_argument("--plot", action="store_true",
+                    help="render an ASCII chart as well")
+
+    f6 = sub.add_parser("figure6", help="ψ fluctuation at 200 req/min")
+    f6.add_argument("--rate", type=float, default=200.0)
+    f6.add_argument("--horizon", type=float, default=100.0)
+    f6.add_argument("--seed", type=int, default=0)
+    f6.add_argument("--plot", action="store_true")
+
+    f7 = sub.add_parser("figure7", help="average ψ vs churn rate")
+    f7.add_argument("--churn-rates", type=float, nargs="+",
+                    default=[0, 25, 50, 100, 150, 200])
+    f7.add_argument("--rate", type=float, default=100.0)
+    f7.add_argument("--horizon", type=float, default=60.0)
+    f7.add_argument("--seed", type=int, default=0)
+    f7.add_argument("--plot", action="store_true")
+
+    f8 = sub.add_parser("figure8", help="ψ fluctuation under churn")
+    f8.add_argument("--rate", type=float, default=100.0)
+    f8.add_argument("--churn", type=float, default=100.0)
+    f8.add_argument("--horizon", type=float, default=60.0)
+    f8.add_argument("--seed", type=int, default=0)
+    f8.add_argument("--plot", action="store_true")
+
+    run = sub.add_parser("run", help="one custom experiment")
+    run.add_argument("--algorithm", choices=("qsa", "random", "fixed"),
+                     default="qsa")
+    run.add_argument("--rate", type=float, default=100.0,
+                     help="request rate, req/min in paper units")
+    run.add_argument("--horizon", type=float, default=30.0)
+    run.add_argument("--churn", type=float, default=0.0,
+                     help="churn rate, peers/min in paper units")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--no-uptime-filter", action="store_true",
+                     help="disable QSA's uptime term (ablation A1)")
+
+    sub.add_parser("info", help="package and scale information")
+    return parser
+
+
+def _plot_sweep(sweep, x_label: str, title: str) -> None:
+    from repro.experiments.plotting import ascii_chart
+
+    print()
+    print(ascii_chart(
+        {name: (sweep.x_values, ys) for name, ys in sweep.ratios.items()},
+        y_range=(0.0, 1.0),
+        x_label=x_label,
+        title=title,
+    ))
+
+
+def _plot_series(series, title: str) -> None:
+    from repro.experiments.plotting import ascii_chart
+
+    print()
+    print(ascii_chart(
+        {name: (series.times, ys) for name, ys in series.ratios.items()},
+        y_range=(0.0, 1.0),
+        x_label="time (min)",
+        title=title,
+    ))
+
+
+def _cmd_figure5(args) -> int:
+    sweep = figures.figure5(tuple(args.rates), args.horizon, args.seed)
+    print(banner("Figure 5 -- average ψ vs request rate"))
+    print(format_sweep_table(sweep.x_label, sweep.x_values, sweep.ratios))
+    if args.plot:
+        _plot_sweep(sweep, "request rate (req/min)", "ψ vs request rate")
+    return 0
+
+
+def _cmd_figure6(args) -> int:
+    series = figures.figure6(args.rate, args.horizon, seed=args.seed)
+    print(banner(f"Figure 6 -- ψ fluctuation at {args.rate:g} req/min"))
+    print(format_series_table("time (min)", series.times, series.ratios))
+    print("overall: " + ", ".join(
+        f"{a}={v:.3f}" for a, v in series.overall.items()))
+    if args.plot:
+        _plot_series(series, f"ψ fluctuation at {args.rate:g} req/min")
+    return 0
+
+
+def _cmd_figure7(args) -> int:
+    sweep = figures.figure7(
+        tuple(args.churn_rates), args.rate, args.horizon, args.seed
+    )
+    print(banner("Figure 7 -- average ψ vs topological variation rate"))
+    print(format_sweep_table(sweep.x_label, sweep.x_values, sweep.ratios))
+    if args.plot:
+        _plot_sweep(sweep, "churn rate (peers/min)", "ψ vs churn")
+    return 0
+
+
+def _cmd_figure8(args) -> int:
+    series = figures.figure8(args.rate, args.churn, args.horizon,
+                             seed=args.seed)
+    print(banner("Figure 8 -- ψ fluctuation under churn"))
+    print(format_series_table("time (min)", series.times, series.ratios))
+    print("overall: " + ", ".join(
+        f"{a}={v:.3f}" for a, v in series.overall.items()))
+    if args.plot:
+        _plot_series(series, f"ψ under churn {args.churn:g} peers/min")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    config = default_scale(args.rate, args.horizon, args.churn, args.seed)
+    options = {}
+    if args.algorithm == "qsa" and args.no_uptime_filter:
+        options["uptime_filter"] = False
+    result = run_experiment(config.with_algorithm(args.algorithm, **options))
+    print(result.summary())
+    print(f"mean DHT lookup hops: {result.mean_lookup_hops:.2f}")
+    print(f"probing overhead:     {result.probe_overhead:.2%}")
+    if result.n_arrivals or result.n_departures:
+        print(f"churn events:         {result.n_arrivals} arrivals, "
+              f"{result.n_departures} departures")
+    print(f"wall clock:           {result.wall_seconds:.1f}s")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    import repro
+
+    print(f"repro {repro.__version__}")
+    print(f"paper scale active: {is_paper_scale()} "
+          f"(population factor {scale_factor():g})")
+    cfg = default_scale(100, 60)
+    print(f"default experiment grid: {cfg.grid.n_peers} peers, "
+          f"probe budget M={cfg.grid.probing.budget}, "
+          f"seed={cfg.grid.seed}")
+    print("set REPRO_PAPER_SCALE=1 for the paper's 10^4-peer setup")
+    return 0
+
+
+_COMMANDS = {
+    "figure5": _cmd_figure5,
+    "figure6": _cmd_figure6,
+    "figure7": _cmd_figure7,
+    "figure8": _cmd_figure8,
+    "run": _cmd_run,
+    "info": _cmd_info,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

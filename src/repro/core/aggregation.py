@@ -1,0 +1,295 @@
+"""The QSA pipeline: request -> composition -> peer selection -> admission.
+
+This module glues the two tiers of the paper's model into the four
+protocol steps of §3.2 plus the hop-by-hop selection of §3.3:
+
+1. *Acquire and translate the user request* -- the QoS compiler maps the
+   request onto an abstract service path and an end-to-end QoS vector.
+2. *Discover service instances* -- one routed DHT lookup per abstract
+   service returns candidate specs; one per chosen instance returns
+   hosting peers.
+3. *Compose a QoS consistent shortest service path* -- QCS.
+4. *Deliver the path to the dynamic peer selection tier* -- the
+   requesting host resolves the candidate providers into its neighbor
+   table (dynamic neighbor resolution) and picks the first-hop peer; each
+   selected peer then resolves and picks the next, in the reverse
+   direction of the aggregation flow.
+
+Finally the session is admitted atomically; the ledger then owns it.
+
+:class:`BaseAggregator` is the template; the *random* and *fixed*
+heuristics of §4.1 subclass it in :mod:`repro.core.baselines`, overriding
+only the strategy hooks (``compose`` / ``select_peers``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.composition import ComposedPath, CompositionError, compose_qcs
+from repro.core.qos import QoSVector
+from repro.core.resources import WeightProfile
+from repro.core.selection import PeerSelector, PhiWeights
+from repro.lookup.registry import ServiceRegistry
+from repro.network.peer import PeerDirectory
+from repro.probing.prober import ProbingService
+from repro.services.model import AbstractServicePath, ServiceInstance
+from repro.services.qoscompiler import QoSCompiler, UserRequest
+from repro.sessions.admission import AdmissionError
+from repro.sessions.session import Session, SessionLedger
+
+__all__ = ["AggregationStatus", "AggregationResult", "BaseAggregator", "QSAAggregator"]
+
+
+class AggregationStatus(enum.Enum):
+    """Setup outcome of one aggregation request."""
+
+    ADMITTED = "admitted"
+    NO_CANDIDATES = "no-candidates"
+    COMPOSITION_FAILED = "composition-failed"
+    SELECTION_FAILED = "selection-failed"
+    RESOURCES_DENIED = "resources-denied"
+    BANDWIDTH_DENIED = "bandwidth-denied"
+
+
+@dataclass
+class AggregationResult:
+    """Everything the metrics layer wants to know about a setup attempt."""
+
+    request: UserRequest
+    status: AggregationStatus
+    session: Optional[Session] = None
+    composed: Optional[ComposedPath] = None
+    peers: Tuple[int, ...] = ()
+    lookup_hops: int = 0
+    random_fallbacks: int = 0
+    #: Per-hop selection outcomes in selection order (user side first);
+    #: populated by QSA, empty for the baselines.  Feed to
+    #: :func:`repro.core.explain.explain_result` for a human-readable
+    #: decision trace.
+    hop_outcomes: Tuple = ()
+
+    @property
+    def admitted(self) -> bool:
+        return self.status is AggregationStatus.ADMITTED
+
+
+class BaseAggregator:
+    """Template for all three §4.1 algorithms (QSA / random / fixed)."""
+
+    name = "base"
+    #: Optional :class:`repro.sim.trace.Tracer`; set by the grid factory
+    #: when tracing is enabled.
+    tracer = None
+
+    def __init__(
+        self,
+        compiler: QoSCompiler,
+        registry: ServiceRegistry,
+        directory: PeerDirectory,
+        ledger: SessionLedger,
+        rng: np.random.Generator,
+    ) -> None:
+        self.compiler = compiler
+        self.registry = registry
+        self.directory = directory
+        self.ledger = ledger
+        self.rng = rng
+
+    # -- strategy hooks ------------------------------------------------------
+    def compose(
+        self,
+        path: AbstractServicePath,
+        candidates: Dict[str, Tuple[ServiceInstance, ...]],
+        user_qos: QoSVector,
+        request: UserRequest,
+    ) -> ComposedPath:
+        """Choose the service instances (raise CompositionError to fail)."""
+        raise NotImplementedError
+
+    def select_peers(
+        self,
+        request: UserRequest,
+        composed: ComposedPath,
+        hosts_selection_order: List[List[int]],
+    ) -> Optional[Tuple[int, ...]]:
+        """Map instances to peers.
+
+        ``hosts_selection_order[i]`` hosts the instance ``i`` hops from
+        the user (i.e. ``composed.instances[-1 - i]``).  Returns peers in
+        *flow order* (aligned with ``composed.instances``) or ``None``
+        when some hop has no selectable peer.
+        """
+        raise NotImplementedError
+
+    def _trace(self, result: AggregationResult) -> AggregationResult:
+        if self.tracer is not None:
+            self.tracer.emit(
+                "request",
+                request_id=result.request.request_id,
+                peer=result.request.peer_id,
+                application=result.request.application,
+                level=result.request.qos_level,
+                status=result.status.value,
+            )
+        return result
+
+    # -- the pipeline ---------------------------------------------------------
+    def aggregate(self, request: UserRequest) -> AggregationResult:
+        """Run the full setup pipeline for one request."""
+        path, user_qos = self.compiler.compile(request, self.rng)
+
+        candidates, hops = self.registry.discover_path_candidates(
+            path.services, request.peer_id
+        )
+        if any(not specs for specs in candidates.values()):
+            return self._trace(AggregationResult(
+                request, AggregationStatus.NO_CANDIDATES, lookup_hops=hops
+            ))
+
+        try:
+            composed = self.compose(path, candidates, user_qos, request)
+        except CompositionError:
+            return self._trace(AggregationResult(
+                request, AggregationStatus.COMPOSITION_FAILED, lookup_hops=hops
+            ))
+
+        # Host discovery, selection order (user-adjacent instance first).
+        hosts_selection_order: List[List[int]] = []
+        for inst in reversed(composed.instances):
+            host_set, h = self.registry.discover_hosts(
+                inst.instance_id, request.peer_id
+            )
+            hops += h
+            hosts_selection_order.append(sorted(host_set))
+
+        peers = self.select_peers(request, composed, hosts_selection_order)
+        if peers is None:
+            return self._trace(AggregationResult(
+                request,
+                AggregationStatus.SELECTION_FAILED,
+                composed=composed,
+                lookup_hops=hops,
+            ))
+
+        try:
+            session = self.ledger.admit(
+                request_id=request.request_id,
+                user_peer=request.peer_id,
+                instances=composed.instances,
+                peers=peers,
+                duration=request.session_duration,
+            )
+        except AdmissionError as exc:
+            status = (
+                AggregationStatus.RESOURCES_DENIED
+                if exc.stage == "resources"
+                else AggregationStatus.BANDWIDTH_DENIED
+            )
+            return self._trace(AggregationResult(
+                request, status, composed=composed, peers=peers, lookup_hops=hops
+            ))
+
+        return self._trace(AggregationResult(
+            request,
+            AggregationStatus.ADMITTED,
+            session=session,
+            composed=composed,
+            peers=peers,
+            lookup_hops=hops,
+        ))
+
+
+class QSAAggregator(BaseAggregator):
+    """The paper's algorithm: QCS composition + Φ/uptime peer selection."""
+
+    name = "qsa"
+
+    def __init__(
+        self,
+        compiler: QoSCompiler,
+        registry: ServiceRegistry,
+        directory: PeerDirectory,
+        ledger: SessionLedger,
+        probing: ProbingService,
+        composition_weights: WeightProfile,
+        phi_weights: PhiWeights,
+        rng: np.random.Generator,
+        uptime_filter: bool = True,
+        composition_method: str = "dp",
+    ) -> None:
+        super().__init__(compiler, registry, directory, ledger, rng)
+        self.probing = probing
+        self.composition_weights = composition_weights
+        self.composition_method = composition_method
+        self.selector = PeerSelector(
+            probing, phi_weights, uptime_filter=uptime_filter
+        )
+        # Instance-pair consistency and edge costs are catalog-immutable;
+        # memoizing them across requests removes the dominant cost of
+        # graph construction (profiling notes in DESIGN.md).
+        self._edge_cache: Dict[Tuple[str, str], bool] = {}
+        self._cost_cache: Dict[str, Tuple] = {}
+
+    def compose(self, path, candidates, user_qos, request) -> ComposedPath:
+        return compose_qcs(
+            path,
+            candidates,
+            user_qos,
+            self.composition_weights,
+            method=self.composition_method,
+            edge_cache=self._edge_cache,
+            cost_cache=self._cost_cache,
+        )
+
+    def select_peers(
+        self,
+        request: UserRequest,
+        composed: ComposedPath,
+        hosts_selection_order: List[List[int]],
+    ) -> Optional[Tuple[int, ...]]:
+        """Distributed hop-by-hop selection in reverse flow order (§3.3)."""
+        n = len(composed.instances)
+        selected_reverse: List[int] = []
+        current = request.peer_id
+        self._fallbacks = 0
+        self._hop_outcomes = []
+        for i in range(n):
+            inst = composed.instances[n - 1 - i]  # i hops from the user
+            candidates = hosts_selection_order[i]
+            # Dynamic neighbor resolution: the selecting peer learns the
+            # remaining hops' candidate providers (direct neighbors at
+            # the requesting host, indirect along the chain).
+            self.probing.resolve_selection_hops(
+                current,
+                hosts_selection_order[i:],
+                direct=(current == request.peer_id),
+            )
+            outcome = self.selector.select_hop(
+                selecting_peer=current,
+                candidates=candidates,
+                requirement=inst.resources,
+                bandwidth_req=inst.bandwidth,
+                session_duration=request.session_duration,
+                rng=self.rng,
+            )
+            self._hop_outcomes.append(outcome)
+            if outcome.peer_id is None:
+                return None
+            if outcome.random_fallback:
+                self._fallbacks += 1
+            selected_reverse.append(outcome.peer_id)
+            current = outcome.peer_id
+        return tuple(reversed(selected_reverse))
+
+    def aggregate(self, request: UserRequest) -> AggregationResult:
+        self._fallbacks = 0
+        self._hop_outcomes = []
+        result = super().aggregate(request)
+        result.random_fallbacks = self._fallbacks
+        result.hop_outcomes = tuple(self._hop_outcomes)
+        return result

@@ -1,0 +1,109 @@
+"""Human-readable decision traces for aggregation results.
+
+``explain_result`` answers "what did the model do with my request, and
+why did it succeed/fail?" -- the first question any operator of a
+QSA-style system asks.  It renders, in order:
+
+1. the request (application, level, duration, requesting peer),
+2. the discovery cost,
+3. tier 1's outcome: the composed chain with per-instance QoS/resources,
+4. tier 2's outcome: one line per selection hop (selection order),
+   including the Φ score, candidate counts and random-fallback flags,
+5. the admission verdict / session id.
+
+Works for any :class:`~repro.core.aggregation.AggregationResult`;
+per-hop detail appears when the producing aggregator recorded
+``hop_outcomes`` (QSA does; the baselines do not).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.aggregation import AggregationResult, AggregationStatus
+
+__all__ = ["explain_result"]
+
+_STATUS_NOTES = {
+    AggregationStatus.ADMITTED: "session admitted and running",
+    AggregationStatus.NO_CANDIDATES:
+        "discovery returned no instances for some required service",
+    AggregationStatus.COMPOSITION_FAILED:
+        "no QoS-consistent service path satisfies the request "
+        "(tier 1 found no chain whose outputs satisfy each input and the "
+        "end-to-end requirement)",
+    AggregationStatus.SELECTION_FAILED:
+        "some hop had no selectable hosting peer (tier 2)",
+    AggregationStatus.RESOURCES_DENIED:
+        "a selected peer could not actually fit the instance's "
+        "end-system requirement at admission time (stale probe data or "
+        "a race with other sessions)",
+    AggregationStatus.BANDWIDTH_DENIED:
+        "a connection could not fit the required bandwidth at admission "
+        "time",
+}
+
+
+def explain_result(result: AggregationResult) -> str:
+    """Render a multi-line decision trace for one aggregation attempt."""
+    req = result.request
+    lines: List[str] = []
+    lines.append(
+        f"request #{req.request_id}: {req.application!r} @ {req.qos_level} "
+        f"for {req.session_duration:g} min, from peer {req.peer_id}"
+    )
+    lines.append(
+        f"outcome: {result.status.value} -- "
+        f"{_STATUS_NOTES.get(result.status, '')}"
+    )
+    lines.append(f"discovery: {result.lookup_hops} DHT hops")
+
+    if result.composed is not None:
+        lines.append(
+            f"tier 1 (composition): {result.composed.hops}-hop path, "
+            f"aggregate score {result.composed.score:.4f}"
+        )
+        for k, inst in enumerate(result.composed.instances):
+            placed = (
+                f" -> peer {result.peers[k]}"
+                if k < len(result.peers)
+                else ""
+            )
+            lines.append(
+                f"    [{k}] {inst.instance_id:<24} "
+                f"R={inst.resources.values} "
+                f"b={inst.bandwidth / 1e3:.0f}kbps "
+                f"qout={dict(inst.qout.items())}{placed}"
+            )
+    else:
+        lines.append("tier 1 (composition): no path produced")
+
+    if result.hop_outcomes:
+        lines.append("tier 2 (peer selection, user side first):")
+        for i, hop in enumerate(result.hop_outcomes):
+            if hop.peer_id is None:
+                lines.append(
+                    f"    hop {i + 1}: FAILED "
+                    f"({hop.n_candidates} candidates, {hop.n_known} known)"
+                )
+                continue
+            how = "random fallback" if hop.random_fallback else (
+                f"Φ={hop.phi:.2f}" if hop.phi is not None else "Φ ranking"
+            )
+            lines.append(
+                f"    hop {i + 1}: peer {hop.peer_id} via {how} "
+                f"({hop.n_known}/{hop.n_candidates} candidates known)"
+            )
+    elif result.peers:
+        lines.append(
+            f"tier 2 (peer selection): peers {list(result.peers)} "
+            "(no per-hop trace recorded by this algorithm)"
+        )
+
+    if result.session is not None:
+        lines.append(
+            f"session #{result.session.session_id}: "
+            f"t={result.session.start:g} .. {result.session.end:g} min "
+            f"on peers {list(result.session.peers)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,357 @@
+"""Dynamic peer selection: the Φ metric and hop-by-hop selection (§3.3).
+
+After QCS has fixed *which* service instances make up the path, each
+instance must be mapped onto one of the many peers that host a replica of
+it.  The paper's design decisions, all implemented here:
+
+* **Distributed, hop-by-hop** -- selection proceeds in the *reverse*
+  direction of the aggregation flow: the user's host picks the peer for
+  the user-adjacent instance; that peer picks the peer for the preceding
+  instance; and so on (Fig. 4).  Every step uses only the performance
+  information *locally maintained at the selecting peer* (its probed
+  neighbor set, bounded by the probing budget ``M``).
+* **Uptime filter** -- a candidate qualifies only if its uptime (time
+  connected to the grid so far) is at least the application's session
+  duration; this is the paper's heuristic predictor of peer longevity
+  (footnote 4).
+* **Φ metric** (Eq. 4-5) -- among qualifying candidates with known
+  performance information, pick the one maximizing
+
+  .. math:: Φ = \\sum_{i=1}^{m} ω_i \\frac{ra_i}{r_i} + ω_{m+1} \\frac{β}{b}
+
+  where ``ra_i`` is the candidate's availability of resource ``i``,
+  ``r_i`` the instance's requirement, ``β`` the end-to-end available
+  bandwidth from the candidate to the selecting peer and ``b`` the
+  instance's bandwidth requirement.  Weights are non-negative and sum
+  to 1.
+* **Random fallback** -- if the selecting peer has no performance
+  information about any candidate, it picks uniformly at random
+  ("If the candidate peers' performance information is not available,
+  the peer selection falls back to a random policy").
+
+Scoring is vectorized with numpy: a selection step evaluates all
+candidates' Φ values in one shot, which matters at the 10⁴-peer scale of
+the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.resources import ResourceVector
+
+__all__ = ["PeerInfo", "PerformanceView", "PhiWeights", "PeerSelector", "SelectionOutcome"]
+
+
+@dataclass(frozen=True)
+class PeerInfo:
+    """A snapshot of one peer's state as observed by a prober.
+
+    ``availability`` uses the same resource dimensions/order as instance
+    requirement vectors; ``bandwidth_to_observer`` is the end-to-end
+    available bandwidth β from the observed peer towards the observer;
+    ``uptime`` is how long the peer has been connected (minutes);
+    ``latency`` the application-level connection latency (ms).
+    """
+
+    peer_id: int
+    availability: ResourceVector
+    bandwidth_to_observer: float
+    uptime: float
+    latency: float
+
+
+class PerformanceView(Protocol):
+    """What a selecting peer knows about other peers.
+
+    Implemented by :class:`repro.probing.prober.ProbingService`; also by
+    simple dict-backed fakes in tests.
+    """
+
+    def observe(self, observer: int, target: int) -> Optional[PeerInfo]:
+        """The observer's (possibly stale) info about target, or ``None``
+        if the target is outside the observer's probed neighbor set."""
+        ...
+
+
+class PhiWeights:
+    """The configurable importance weights ``ω_1..ω_{m+1}`` of Eq. 4-5.
+
+    An optional **latency term** extends Eq. 4 (the paper maintains
+    latency as probed performance information but does not use it in Φ;
+    see DESIGN.md §4b).  With ``latency_weight = ω_L > 0`` the metric
+    becomes::
+
+        Φ' = Σ ω_i (ra_i/r_i) + ω_{m+1} (β/b) + ω_L (L_ref / latency)
+
+    where ``L_ref`` normalizes so that an ``L_ref``-ms candidate scores 1
+    on the term, like the other ratio terms.  All weights (including
+    ``ω_L``) are non-negative and sum to 1.
+    """
+
+    __slots__ = (
+        "resource_names",
+        "weights",
+        "bandwidth_weight",
+        "latency_weight",
+        "latency_ref_ms",
+    )
+
+    def __init__(
+        self,
+        resource_names: Sequence[str],
+        resource_weights: Sequence[float],
+        bandwidth_weight: float,
+        latency_weight: float = 0.0,
+        latency_ref_ms: float = 80.0,
+        normalize: bool = False,
+    ) -> None:
+        self.resource_names = tuple(resource_names)
+        w = np.asarray(list(resource_weights), dtype=np.float64)
+        wb = float(bandwidth_weight)
+        wl = float(latency_weight)
+        if w.shape != (len(self.resource_names),):
+            raise ValueError("one weight per resource type is required")
+        if np.any(w < 0) or wb < 0 or wl < 0:
+            raise ValueError("Φ weights must be non-negative (Eq. 5)")
+        if latency_ref_ms <= 0:
+            raise ValueError("latency_ref_ms must be positive")
+        total = float(w.sum() + wb + wl)
+        if normalize:
+            if total <= 0:
+                raise ValueError("cannot normalize all-zero weights")
+            w, wb, wl = w / total, wb / total, wl / total
+        elif abs(total - 1.0) > 1e-9:
+            raise ValueError(f"Φ weights must sum to 1 (Eq. 5); got {total}")
+        self.weights = w
+        self.bandwidth_weight = wb
+        self.latency_weight = wl
+        self.latency_ref_ms = float(latency_ref_ms)
+
+    @classmethod
+    def uniform(cls, resource_names: Sequence[str]) -> "PhiWeights":
+        """Uniform importance weights (the paper's evaluation setting)."""
+        m = len(resource_names)
+        w = np.full(m + 1, 1.0 / (m + 1))
+        return cls(resource_names, w[:m], w[m])
+
+    @classmethod
+    def latency_aware(
+        cls,
+        resource_names: Sequence[str],
+        latency_weight: float = 0.25,
+        latency_ref_ms: float = 80.0,
+    ) -> "PhiWeights":
+        """Uniform weights over resources+bandwidth, plus a latency term."""
+        m = len(resource_names)
+        rest = (1.0 - latency_weight) / (m + 1)
+        return cls(
+            resource_names,
+            np.full(m, rest),
+            rest,
+            latency_weight=latency_weight,
+            latency_ref_ms=latency_ref_ms,
+        )
+
+    def _latency_term(self, latency_ms) -> Any:
+        ratio = self.latency_ref_ms / np.maximum(latency_ms, 1e-3)
+        return np.minimum(ratio, _RATIO_CAP)
+
+    def phi(
+        self,
+        availability: ResourceVector,
+        requirement: ResourceVector,
+        beta: float,
+        bandwidth_req: float,
+        latency_ms: float = 0.0,
+    ) -> float:
+        """Eq. 4 for a single candidate (plus the optional latency term)."""
+        if availability.names != self.resource_names:
+            raise ValueError("availability dimensions do not match Φ weights")
+        ratios = availability.ratio_to(requirement)
+        bw_ratio = beta / bandwidth_req if bandwidth_req > 0 else np.inf
+        ratios = np.minimum(ratios, _RATIO_CAP)
+        bw_ratio = min(bw_ratio, _RATIO_CAP)
+        value = float(
+            np.dot(self.weights, ratios) + self.bandwidth_weight * bw_ratio
+        )
+        if self.latency_weight > 0:
+            value += self.latency_weight * float(self._latency_term(latency_ms))
+        return value
+
+    def phi_batch(
+        self,
+        availability: np.ndarray,
+        requirement: np.ndarray,
+        betas: np.ndarray,
+        bandwidth_req: float,
+        latencies_ms: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Vectorized Eq. 4 over ``n`` candidates.
+
+        Parameters
+        ----------
+        availability: ``(n, m)`` array of candidate resource availability.
+        requirement: ``(m,)`` instance requirement (entries may be 0).
+        betas: ``(n,)`` available bandwidth from each candidate.
+        bandwidth_req: scalar ``b``.
+        latencies_ms: ``(n,)`` candidate->selector latencies (only used
+            when the profile carries a latency weight).
+        """
+        with np.errstate(divide="ignore"):
+            ratios = np.where(
+                requirement > 0, availability / requirement, _RATIO_CAP
+            )
+        np.minimum(ratios, _RATIO_CAP, out=ratios)
+        if bandwidth_req > 0:
+            bw = np.minimum(betas / bandwidth_req, _RATIO_CAP)
+        else:
+            bw = np.full_like(betas, _RATIO_CAP)
+        out = ratios @ self.weights + self.bandwidth_weight * bw
+        if self.latency_weight > 0:
+            if latencies_ms is None:
+                raise ValueError(
+                    "latency-aware Φ needs candidate latencies"
+                )
+            out = out + self.latency_weight * self._latency_term(latencies_ms)
+        return out
+
+
+#: Availability/requirement ratios are capped so a single zero-requirement
+#: dimension cannot produce an infinite Φ and drown out every other term.
+_RATIO_CAP = 1e6
+
+
+@dataclass(frozen=True)
+class SelectionOutcome:
+    """The result of one hop's selection step.
+
+    ``peer_id`` is ``None`` when no candidate qualified.  ``random_fallback``
+    records whether the step had to use the random policy (no performance
+    information available at the selecting peer).
+    """
+
+    peer_id: Optional[int]
+    random_fallback: bool
+    n_candidates: int
+    n_known: int
+    phi: Optional[float] = None
+
+
+class PeerSelector:
+    """Implements one peer-selection step of the QSA model.
+
+    Parameters
+    ----------
+    view:
+        The performance-information provider (the probing subsystem).
+    weights:
+        Φ weights.
+    uptime_filter:
+        Whether to require candidate uptime >= session duration (QSA's
+        churn-tolerance heuristic; the ablation benches switch this off).
+    feasibility_filter:
+        Whether to require known availability to cover the requirement
+        before ranking by Φ (the paper's "match between ... the candidate
+        peer's resource availability and the service instance's resource
+        requirements").
+    """
+
+    def __init__(
+        self,
+        view: PerformanceView,
+        weights: PhiWeights,
+        uptime_filter: bool = True,
+        feasibility_filter: bool = True,
+    ) -> None:
+        self.view = view
+        self.weights = weights
+        self.uptime_filter = uptime_filter
+        self.feasibility_filter = feasibility_filter
+
+    def select_hop(
+        self,
+        selecting_peer: int,
+        candidates: Sequence[int],
+        requirement: ResourceVector,
+        bandwidth_req: float,
+        session_duration: float,
+        rng: np.random.Generator,
+    ) -> SelectionOutcome:
+        """Choose the next-hop peer from ``candidates``.
+
+        Implements, in order: the local-knowledge restriction, the uptime
+        and feasibility matches, Φ ranking, and the random fallback.
+        """
+        n_candidates = len(candidates)
+        if n_candidates == 0:
+            return SelectionOutcome(None, False, 0, 0)
+
+        known: list[Tuple[int, PeerInfo]] = []
+        for pid in candidates:
+            info = self.view.observe(selecting_peer, pid)
+            if info is not None:
+                known.append((pid, info))
+
+        if not known:
+            # Random fallback: the selecting peer knows nothing about any
+            # candidate -- pick uniformly at random.
+            pick = int(rng.integers(n_candidates))
+            return SelectionOutcome(candidates[pick], True, n_candidates, 0)
+
+        qualified: list[Tuple[int, PeerInfo]] = []
+        for pid, info in known:
+            if self.uptime_filter and info.uptime < session_duration:
+                continue
+            if self.feasibility_filter and not (
+                info.availability.covers(requirement)
+                and info.bandwidth_to_observer >= bandwidth_req
+            ):
+                continue
+            qualified.append((pid, info))
+
+        if not qualified:
+            # All known candidates were filtered out; fall back to the
+            # unknown candidates at random if any exist, else give up on
+            # the filters and rank every known candidate by Φ (a peer
+            # with the least-bad Φ still beats outright failure).
+            unknown = [pid for pid in candidates if all(pid != k for k, _ in known)]
+            if unknown:
+                pick = int(rng.integers(len(unknown)))
+                return SelectionOutcome(
+                    unknown[pick], True, n_candidates, len(known)
+                )
+            qualified = known
+
+        if len(qualified) == 1:
+            pid, info = qualified[0]
+            phi = self.weights.phi(
+                info.availability, requirement, info.bandwidth_to_observer,
+                bandwidth_req, latency_ms=info.latency,
+            )
+            return SelectionOutcome(pid, False, n_candidates, len(known), phi)
+
+        avail = np.stack([info.availability.values for _, info in qualified])
+        betas = np.fromiter(
+            (info.bandwidth_to_observer for _, info in qualified),
+            dtype=np.float64,
+            count=len(qualified),
+        )
+        latencies = None
+        if self.weights.latency_weight > 0:
+            latencies = np.fromiter(
+                (info.latency for _, info in qualified),
+                dtype=np.float64,
+                count=len(qualified),
+            )
+        scores = self.weights.phi_batch(
+            avail, requirement.values, betas, bandwidth_req,
+            latencies_ms=latencies,
+        )
+        best = int(np.argmax(scores))
+        return SelectionOutcome(
+            qualified[best][0], False, n_candidates, len(known), float(scores[best])
+        )

@@ -1,0 +1,25 @@
+"""Experiment harness: §4.1 methodology, Fig. 5-8 and the ablations.
+
+* :mod:`~repro.experiments.metrics` -- the success-ratio metric ψ and
+  per-request outcome tracking.
+* :mod:`~repro.experiments.runner` -- one simulation run: grid +
+  workload + algorithm -> :class:`ExperimentResult`.
+* :mod:`~repro.experiments.figures` -- the four result figures.
+* :mod:`~repro.experiments.ablations` -- design-choice ablations
+  (uptime term, probe budget, tier contributions).
+* :mod:`~repro.experiments.reporting` -- plain-text tables/series.
+"""
+
+from repro.experiments.config import ExperimentConfig, paper_scale, default_scale
+from repro.experiments.metrics import MetricsCollector, RequestRecord
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "MetricsCollector",
+    "RequestRecord",
+    "default_scale",
+    "paper_scale",
+    "run_experiment",
+]

@@ -1,0 +1,152 @@
+"""Reproductions of the paper's four result figures (§4.2).
+
+Each function runs the three §4.1 algorithms over identical grids,
+workloads and churn schedules (paired by the named-RNG-stream design) and
+returns the series the corresponding figure plots.  The ``rate`` and
+``churn`` arguments are in *paper units* (per-minute counts at the
+10^4-peer scale); :func:`repro.experiments.config.default_scale` rescales
+them with the population.
+
+Expected shapes (see EXPERIMENTS.md for measured numbers):
+
+* **Fig. 5** -- average ψ vs request rate, no churn: QSA > random >>
+  fixed at every rate; all decrease with load.
+* **Fig. 6** -- ψ fluctuation at 200 req/min, no churn, sampled every
+  2 min: QSA consistently on top; gaps up to ~15 % (random) and ~90 %
+  (fixed).
+* **Fig. 7** -- average ψ vs churn rate at 100 req/min: steep degradation
+  for every algorithm even at <= 2 % peers/min; QSA degrades least.
+* **Fig. 8** -- ψ fluctuation at churn 100 peers/min, 100 req/min.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig, default_scale
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+__all__ = [
+    "ALGORITHMS",
+    "SweepResult",
+    "SeriesResult",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+]
+
+ALGORITHMS = ("qsa", "random", "fixed")
+
+
+@dataclass
+class SweepResult:
+    """x -> per-algorithm average ψ (Fig. 5 / Fig. 7 shape)."""
+
+    x_label: str
+    x_values: List[float]
+    ratios: Dict[str, List[float]]
+    runs: Dict[str, List[ExperimentResult]] = field(default_factory=dict)
+
+    def winner_at(self, i: int) -> str:
+        return max(self.ratios, key=lambda a: self.ratios[a][i])
+
+
+@dataclass
+class SeriesResult:
+    """time -> per-algorithm windowed ψ (Fig. 6 / Fig. 8 shape)."""
+
+    times: np.ndarray
+    ratios: Dict[str, np.ndarray]
+    overall: Dict[str, float]
+
+
+def _sweep(
+    x_label: str,
+    x_values: Sequence[float],
+    make_config,
+    algorithms: Sequence[str] = ALGORITHMS,
+) -> SweepResult:
+    ratios: Dict[str, List[float]] = {a: [] for a in algorithms}
+    runs: Dict[str, List[ExperimentResult]] = {a: [] for a in algorithms}
+    for x in x_values:
+        base = make_config(x)
+        for algo in algorithms:
+            result = run_experiment(base.with_algorithm(algo))
+            ratios[algo].append(result.success_ratio)
+            runs[algo].append(result)
+    return SweepResult(x_label, list(x_values), ratios, runs)
+
+
+def _series(
+    config: ExperimentConfig,
+    bin_minutes: float = 2.0,
+    algorithms: Sequence[str] = ALGORITHMS,
+) -> SeriesResult:
+    times = None
+    ratios: Dict[str, np.ndarray] = {}
+    overall: Dict[str, float] = {}
+    for algo in algorithms:
+        result = run_experiment(config.with_algorithm(algo))
+        t, r = result.series(bin_minutes)
+        times = t
+        ratios[algo] = r
+        overall[algo] = result.success_ratio
+    return SeriesResult(times, ratios, overall)
+
+
+def figure5(
+    rates: Sequence[float] = (50, 100, 200, 400, 600, 800, 1000),
+    horizon: float = 400.0,
+    seed: int = 0,
+) -> SweepResult:
+    """Fig. 5: average ψ vs request rate (req/min), no churn, 400 min."""
+    return _sweep(
+        "request rate (req/min)",
+        rates,
+        lambda rate: default_scale(rate_per_min=rate, horizon=horizon, seed=seed),
+    )
+
+
+def figure6(
+    rate: float = 200.0,
+    horizon: float = 100.0,
+    bin_minutes: float = 2.0,
+    seed: int = 0,
+) -> SeriesResult:
+    """Fig. 6: ψ fluctuation at 200 req/min over 100 min, no churn."""
+    config = default_scale(rate_per_min=rate, horizon=horizon, seed=seed)
+    return _series(config, bin_minutes)
+
+
+def figure7(
+    churn_rates: Sequence[float] = (0, 25, 50, 100, 150, 200),
+    rate: float = 100.0,
+    horizon: float = 60.0,
+    seed: int = 0,
+) -> SweepResult:
+    """Fig. 7: average ψ vs churn rate (peers/min), 100 req/min, 60 min."""
+    return _sweep(
+        "churn rate (peers/min)",
+        churn_rates,
+        lambda churn: default_scale(
+            rate_per_min=rate, horizon=horizon, churn_per_min=churn, seed=seed
+        ),
+    )
+
+
+def figure8(
+    rate: float = 100.0,
+    churn: float = 100.0,
+    horizon: float = 60.0,
+    bin_minutes: float = 2.0,
+    seed: int = 0,
+) -> SeriesResult:
+    """Fig. 8: ψ fluctuation over 60 min at churn 100 peers/min."""
+    config = default_scale(
+        rate_per_min=rate, horizon=horizon, churn_per_min=churn, seed=seed
+    )
+    return _series(config, bin_minutes)

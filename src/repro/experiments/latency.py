@@ -1,0 +1,108 @@
+"""Latency analytics: setup cost and delivery-path latency.
+
+The network model carries the paper's per-pair latency classes
+(200/150/80/20/1 ms, §4.1) and the probing layer reports them, but the
+paper's Φ does not consume latency and its evaluation never measures it.
+These helpers close that loop:
+
+* :func:`setup_latency_ms` -- how long one aggregation setup takes in
+  wall-clock network terms: DHT routing hops (at the mean overlay-hop
+  latency), one selection round-trip per hop, and one reservation
+  handshake per connection.
+* :func:`path_latency_ms` -- the delivery path's end-to-end one-way
+  latency (sum over its application-level connections), i.e. what a
+  latency-sensitive stream experiences for the whole session.
+* :func:`mean_path_latency` -- averages over admitted results.
+
+``benchmarks/bench_latency_aware.py`` uses these to evaluate the
+latency-aware Φ extension (`PhiWeights.latency_aware`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.aggregation import AggregationResult
+from repro.network.topology import NetworkModel
+
+__all__ = [
+    "mean_overlay_hop_ms",
+    "setup_latency_ms",
+    "path_latency_ms",
+    "mean_path_latency",
+]
+
+
+def mean_overlay_hop_ms(network: NetworkModel) -> float:
+    """Expected latency of one overlay hop between random peers."""
+    return float(np.mean(network.latency_classes))
+
+
+def path_latency_ms(result: AggregationResult, network: NetworkModel) -> float:
+    """One-way delivery latency of an admitted result's service path.
+
+    Sums the pairwise latency over every application-level connection,
+    including the final connection into the user's host.  Raises for
+    non-admitted results (there is no path to measure).
+    """
+    if result.session is None:
+        raise ValueError("path latency is only defined for admitted requests")
+    return sum(
+        network.latency_ms(src, dst)
+        for src, dst, _bw in result.session.connections()
+    )
+
+
+def setup_latency_ms(
+    result: AggregationResult,
+    network: NetworkModel,
+    overlay_hop_ms: Optional[float] = None,
+) -> float:
+    """Network time spent setting this aggregation up.
+
+    Components:
+
+    * **discovery** -- ``lookup_hops`` routed forwardings, each costing
+      one overlay hop (the DHT does not track per-hop endpoints, so the
+      mean class latency stands in; configurable via ``overlay_hop_ms``);
+    * **selection** -- per hop, one request/response exchange between the
+      selecting peer and the peer it selects (2x their pair latency);
+    * **admission** -- one reservation handshake per connection of the
+      final placement (2x the pair latency).
+
+    Costs are charged for work actually performed, so rejected requests
+    report the (smaller) latency they burned before failing.
+    """
+    hop_ms = (
+        overlay_hop_ms if overlay_hop_ms is not None
+        else mean_overlay_hop_ms(network)
+    )
+    total = result.lookup_hops * hop_ms
+
+    if result.peers:
+        # Selection exchanges: user -> first selected -> ... (selection
+        # order is reverse flow order).
+        selection_order = list(reversed(result.peers))
+        selector = result.request.peer_id
+        for selected in selection_order:
+            total += 2.0 * network.latency_ms(selector, selected)
+            selector = selected
+
+    if result.session is not None:
+        for src, dst, _bw in result.session.connections():
+            total += 2.0 * network.latency_ms(src, dst)
+    return total
+
+
+def mean_path_latency(
+    results: Iterable[AggregationResult], network: NetworkModel
+) -> float:
+    """Mean delivery-path latency over the admitted results."""
+    values = [
+        path_latency_ms(r, network) for r in results if r.session is not None
+    ]
+    if not values:
+        raise ValueError("no admitted results to average over")
+    return float(np.mean(values))

@@ -1,0 +1,118 @@
+"""Terminal (ASCII) charts for the figure reproductions.
+
+The evaluation figures are line charts; this renders them in a terminal
+without any plotting dependency: a character canvas with one marker per
+algorithm, shared axes, and a legend.  Used by ``python -m repro
+figureN --plot`` and handy in notebooks/CI logs.
+
+The renderer is deliberately simple -- nearest-cell rasterization of
+(x, y) points joined by linear interpolation -- but handles NaN gaps
+(empty sample windows) and degenerate ranges.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ascii_chart", "MARKERS"]
+
+#: Per-series markers, assigned in insertion order.
+MARKERS = ("*", "o", "+", "x", "#", "@")
+
+
+def _scale(v: float, lo: float, hi: float, cells: int) -> int:
+    """Map ``v`` in [lo, hi] to a cell index in [0, cells-1]."""
+    if hi <= lo:
+        return 0
+    frac = (v - lo) / (hi - lo)
+    return min(cells - 1, max(0, int(round(frac * (cells - 1)))))
+
+
+def ascii_chart(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+    y_range: Optional[Tuple[float, float]] = None,
+    title: str = "",
+) -> str:
+    """Render named (xs, ys) series as a multi-line string chart.
+
+    NaN y-values break the line (a gap), matching how the series tables
+    print ``-`` for empty sample windows.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 16 or height < 4:
+        raise ValueError("canvas too small to be readable")
+
+    all_x: List[float] = []
+    all_y: List[float] = []
+    for xs, ys in series.values():
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have equal length")
+        all_x.extend(float(x) for x in xs)
+        all_y.extend(float(y) for y in ys if math.isfinite(y))
+    if not all_x or not all_y:
+        raise ValueError("no finite data to plot")
+
+    x_lo, x_hi = min(all_x), max(all_x)
+    if y_range is not None:
+        y_lo, y_hi = y_range
+    else:
+        y_lo, y_hi = min(all_y), max(all_y)
+        if y_lo == y_hi:  # flat series: pad so the line sits mid-canvas
+            y_lo, y_hi = y_lo - 0.5, y_hi + 0.5
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    for (name, (xs, ys)), marker in zip(series.items(), MARKERS):
+        pts = [
+            (float(x), float(y))
+            for x, y in zip(xs, ys)
+            if math.isfinite(float(y))
+        ]
+        # Rasterize segments between consecutive finite points so lines
+        # stay connected even on sparse data.
+        for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
+            steps = max(
+                abs(_scale(x1, x_lo, x_hi, width) - _scale(x0, x_lo, x_hi, width)),
+                1,
+            )
+            for s in range(steps + 1):
+                t = s / steps
+                cx = _scale(x0 + t * (x1 - x0), x_lo, x_hi, width)
+                cy = _scale(y0 + t * (y1 - y0), y_lo, y_hi, height)
+                canvas[height - 1 - cy][cx] = marker
+        # Lone points (or a single-point series) still get a marker.
+        for x, y in pts:
+            cx = _scale(x, x_lo, x_hi, width)
+            cy = _scale(y, y_lo, y_hi, height)
+            canvas[height - 1 - cy][cx] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_top = f"{y_hi:g}"
+    y_bot = f"{y_lo:g}"
+    label_w = max(len(y_top), len(y_bot), len(y_label)) + 1
+    lines.append(f"{y_top:>{label_w}} ┤" + "".join(canvas[0]))
+    for row in canvas[1:-1]:
+        lines.append(" " * label_w + " │" + "".join(row))
+    lines.append(f"{y_bot:>{label_w}} ┤" + "".join(canvas[-1]))
+    lines.append(" " * label_w + " └" + "─" * width)
+    x_lo_s, x_hi_s = f"{x_lo:g}", f"{x_hi:g}"
+    pad = width - len(x_lo_s) - len(x_hi_s)
+    lines.append(
+        " " * (label_w + 2) + x_lo_s + " " * max(pad, 1) + x_hi_s
+    )
+    lines.append(" " * (label_w + 2) + x_label)
+    legend = "   ".join(
+        f"{marker} {name}" for (name, _), marker in zip(series.items(), MARKERS)
+    )
+    lines.append(" " * (label_w + 2) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Multi-seed replication: mean ψ with confidence intervals.
+
+The paper reports single simulation runs (averaged over time); good
+reproduction practice adds *across-seed* replication so that "QSA beats
+random" is distinguishable from catalog luck.  This module reruns a
+configuration under independent seeds and reports per-algorithm mean,
+standard deviation and a Student-t confidence interval, plus the win
+count of head-to-head (paired-seed) comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+__all__ = ["AlgorithmStats", "ReplicationResult", "replicate", "t_interval"]
+
+#: Two-sided Student-t critical values at 95% for small samples
+#: (df -> t); falls back to the normal 1.96 beyond the table.
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    12: 2.179, 15: 2.131, 20: 2.086, 30: 2.042,
+}
+
+
+def t_interval(values: Sequence[float]) -> Tuple[float, float]:
+    """95% confidence half-width around the mean of ``values``.
+
+    Returns ``(mean, half_width)``; a single observation yields an
+    infinite half-width (you cannot estimate variance from one run).
+    """
+    x = np.asarray(list(values), dtype=np.float64)
+    if x.size == 0:
+        raise ValueError("no observations")
+    mean = float(x.mean())
+    if x.size == 1:
+        return mean, float("inf")
+    df = x.size - 1
+    t = _T95.get(df)
+    if t is None:
+        candidates = [k for k in _T95 if k <= df]
+        t = _T95[max(candidates)] if candidates else 1.96
+        if df > 30:
+            t = 1.96
+    sem = float(x.std(ddof=1)) / math.sqrt(x.size)
+    return mean, t * sem
+
+
+@dataclass
+class AlgorithmStats:
+    """ψ statistics for one algorithm across seeds."""
+
+    algorithm: str
+    ratios: List[float]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.ratios))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.ratios, ddof=1)) if len(self.ratios) > 1 else 0.0
+
+    @property
+    def ci95(self) -> float:
+        return t_interval(self.ratios)[1]
+
+    def __str__(self) -> str:
+        return (
+            f"{self.algorithm}: ψ = {self.mean:.3f} ± {self.ci95:.3f} "
+            f"(n={len(self.ratios)})"
+        )
+
+
+@dataclass
+class ReplicationResult:
+    """Replication outcome across algorithms."""
+
+    stats: Dict[str, AlgorithmStats]
+    seeds: Tuple[int, ...]
+
+    def wins(self, a: str, b: str) -> int:
+        """Paired-seed comparisons where algorithm ``a`` beats ``b``."""
+        xa, xb = self.stats[a].ratios, self.stats[b].ratios
+        return sum(1 for va, vb in zip(xa, xb) if va > vb)
+
+    def dominates(self, a: str, b: str) -> bool:
+        """``a`` beats ``b`` on every seed (sign-test certainty)."""
+        return self.wins(a, b) == len(self.seeds)
+
+    def summary(self) -> str:
+        return "\n".join(str(s) for s in self.stats.values())
+
+
+def replicate(
+    base: ExperimentConfig,
+    algorithms: Sequence[str] = ("qsa", "random", "fixed"),
+    n_seeds: int = 5,
+    first_seed: int = 0,
+) -> ReplicationResult:
+    """Run each algorithm under ``n_seeds`` independent seeds.
+
+    Seeds are paired across algorithms (same grid/catalog/workload per
+    seed), so head-to-head comparisons are matched.
+    """
+    if n_seeds < 1:
+        raise ValueError("need at least one seed")
+    seeds = tuple(range(first_seed, first_seed + n_seeds))
+    stats = {a: AlgorithmStats(a, []) for a in algorithms}
+    for seed in seeds:
+        seeded = base.with_seed(seed)
+        for algorithm in algorithms:
+            result = run_experiment(seeded.with_algorithm(algorithm))
+            stats[algorithm].ratios.append(result.success_ratio)
+    return ReplicationResult(stats, seeds)

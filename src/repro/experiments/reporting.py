@@ -1,0 +1,55 @@
+"""Plain-text rendering of figure series and tables.
+
+Every bench prints through these helpers so that the reproduced
+rows/series look the same everywhere (and diff cleanly between runs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["format_series_table", "format_sweep_table", "banner"]
+
+
+def banner(title: str, subtitle: str = "") -> str:
+    lines = ["=" * 72, title]
+    if subtitle:
+        lines.append(subtitle)
+    lines.append("=" * 72)
+    return "\n".join(lines)
+
+
+def format_sweep_table(
+    x_label: str,
+    x_values: Sequence[float],
+    columns: Dict[str, Sequence[float]],
+    value_format: str = "{:8.3f}",
+) -> str:
+    """A table with one row per x value, one column per algorithm."""
+    names = list(columns)
+    header = f"{x_label:>16} " + " ".join(f"{n:>8}" for n in names)
+    rows = [header, "-" * len(header)]
+    for i, x in enumerate(x_values):
+        cells = " ".join(value_format.format(columns[n][i]) for n in names)
+        rows.append(f"{x:>16g} {cells}")
+    return "\n".join(rows)
+
+
+def format_series_table(
+    time_label: str,
+    times: Sequence[float],
+    series: Dict[str, Sequence[float]],
+) -> str:
+    """A time-series table (Fig. 6/8 style); NaN cells print as '-'."""
+    names = list(series)
+    header = f"{time_label:>10} " + " ".join(f"{n:>8}" for n in names)
+    rows = [header, "-" * len(header)]
+    for i, t in enumerate(times):
+        cells = []
+        for n in names:
+            v = series[n][i]
+            cells.append(f"{v:8.3f}" if np.isfinite(v) else f"{'-':>8}")
+        rows.append(f"{t:>10g} " + " ".join(cells))
+    return "\n".join(rows)

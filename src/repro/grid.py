@@ -1,0 +1,345 @@
+"""The P2P computing grid facade: every subsystem wired together.
+
+:class:`P2PGrid` assembles the simulation kernel, the peer population,
+the network model, the service catalog, the Chord-backed registry, the
+probing service, the session ledger and the churn machinery into one
+object, and manufactures the three §4.1 aggregation algorithms
+(``qsa`` / ``random`` / ``fixed``) against it.
+
+This is the main entry point of the library::
+
+    from repro import GridConfig, P2PGrid
+
+    grid = P2PGrid(GridConfig(n_peers=500, seed=1))
+    qsa = grid.make_aggregator("qsa")
+    request = grid.make_request(application="video-on-demand",
+                                qos_level="high", duration=10.0)
+    result = qsa.aggregate(request)
+    grid.sim.run(until=60.0)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.aggregation import BaseAggregator, QSAAggregator
+from repro.core.baselines import FixedAggregator, RandomAggregator
+from repro.core.resources import ResourceVector, WeightProfile
+from repro.core.selection import PhiWeights
+from repro.lookup.can import CanNetwork
+from repro.lookup.chord import ChordRing
+from repro.lookup.registry import ServiceRegistry
+from repro.network.churn import ChurnConfig, ChurnProcess
+from repro.network.peer import Peer, PeerDirectory
+from repro.network.topology import BANDWIDTH_CLASSES, NetworkModel
+from repro.probing.prober import ProbingConfig, ProbingService
+from repro.services.applications import (
+    QUALITY_LEVELS,
+    ApplicationTemplate,
+    default_applications,
+)
+from repro.services.catalog import CatalogConfig, ServiceCatalog, generate_catalog
+from repro.services.qoscompiler import QoSCompiler, UserRequest
+from repro.services.translator import AnalyticTranslator
+from repro.core.selection import PeerSelector
+from repro.sessions.recovery import RecoveryConfig, RecoveryManager
+from repro.sessions.session import Session, SessionLedger
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.trace import Tracer
+
+__all__ = ["GridConfig", "P2PGrid"]
+
+
+@dataclass(frozen=True)
+class GridConfig:
+    """Grid-wide parameters; defaults are a laptop-scale version of §4.1.
+
+    Set ``n_peers=10_000`` (and the experiment horizons accordingly) for
+    the paper's full scale.
+    """
+
+    #: Number of peers at start (paper: 10^4).
+    n_peers: int = 2000
+    #: End-system resource dimensions (paper: [cpu, memory]).
+    resource_names: Tuple[str, ...] = ("cpu", "memory")
+    #: A peer's capacity scale is uniform in this range; both dimensions
+    #: share the scale (laptop [100,100] ... cluster server [1000,1000]).
+    capacity_range: Tuple[float, float] = (100.0, 1000.0)
+    #: Aggregate first-hop capacity per peer (bps).  The paper's pairwise
+    #: bottleneck classes carry the bandwidth heterogeneity; this uniform
+    #: per-peer cap only bounds how many concurrent flows one peer can
+    #: terminate (DESIGN.md §4).
+    access_capacity: float = 10e6
+    #: Peers start with a random prior uptime in [0, this] minutes so the
+    #: uptime signal is informative from t = 0.
+    initial_uptime_max: float = 120.0
+    #: Probing/neighborhood parameters (paper: M = 100, 1-minute period).
+    probing: ProbingConfig = field(default_factory=ProbingConfig)
+    #: Catalog generation parameters (instances/replicas per §4.1).
+    catalog: CatalogConfig = field(default_factory=CatalogConfig)
+    #: Churn parameters; ``None`` or rate 0 disables topological variation.
+    churn: Optional[ChurnConfig] = None
+    #: Runtime failure recovery (the paper's future work, implemented);
+    #: ``None`` gives the paper's baseline behaviour -- any provisioning
+    #: peer departing fails the whole session.
+    recovery: Optional[RecoveryConfig] = None
+    #: Discovery substrate: ``"chord"`` or ``"can"`` (§3.2: "Chord [20]
+    #: or CAN [16]").
+    lookup_protocol: str = "chord"
+    #: Chord identifier-space width.
+    chord_bits: int = 32
+    #: CAN torus dimensionality.
+    can_dimensions: int = 3
+    #: Application templates for the catalog; ``None`` = the paper's ten
+    #: (:func:`repro.services.applications.default_applications`).  An
+    #: explicit ``applications=`` argument to :class:`P2PGrid` overrides
+    #: both.
+    applications: Optional[Tuple[ApplicationTemplate, ...]] = None
+    #: Structured event tracing (``grid.tracer``); off by default so the
+    #: hot path of large experiments stays allocation-free.
+    tracing: bool = False
+    #: Retain at most this many trace events (None = unbounded).
+    trace_capacity: Optional[int] = 100_000
+    #: Root seed for every RNG stream.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_peers < 2:
+            raise ValueError("need at least two peers")
+        lo, hi = self.capacity_range
+        if not 0 < lo <= hi:
+            raise ValueError(f"bad capacity range ({lo}, {hi})")
+
+
+class P2PGrid:
+    """A fully wired peer-to-peer computing grid simulation."""
+
+    def __init__(
+        self,
+        config: GridConfig | None = None,
+        applications: Optional[Sequence[ApplicationTemplate]] = None,
+    ) -> None:
+        self.config = config = config or GridConfig()
+        self.sim = Simulator()
+        self.rngs = RngStreams(config.seed)
+        self.applications = list(
+            applications or config.applications or default_applications()
+        )
+        self.translator = AnalyticTranslator(config.resource_names)
+
+        # -- peers -------------------------------------------------------
+        self.directory = PeerDirectory(config.resource_names)
+        peer_rng = self.rngs.stream("peers")
+        for _ in range(config.n_peers):
+            self._spawn_peer_inner(
+                joined_at=-float(peer_rng.uniform(0, config.initial_uptime_max)),
+                rng=peer_rng,
+            )
+
+        # -- network ---------------------------------------------------------
+        self.network = NetworkModel(self.directory, seed=config.seed)
+
+        # -- services ----------------------------------------------------------
+        self.catalog: ServiceCatalog = generate_catalog(
+            self.applications,
+            self.directory.alive_ids,
+            self.rngs.stream("catalog"),
+            config.catalog,
+            self.translator,
+        )
+        self.compiler = QoSCompiler.from_templates(self.applications)
+
+        # -- lookup -------------------------------------------------------------
+        if config.lookup_protocol == "chord":
+            self.ring = ChordRing(bits=config.chord_bits, seed=config.seed)
+        elif config.lookup_protocol == "can":
+            self.ring = CanNetwork(
+                dimensions=config.can_dimensions, seed=config.seed
+            )
+        else:
+            raise ValueError(
+                f"unknown lookup protocol {config.lookup_protocol!r} "
+                "(chord/can)"
+            )
+        for pid in self.directory.alive_ids:
+            self.ring.join(pid)
+        self.registry = ServiceRegistry(self.ring, self.catalog)
+
+        # -- tracing -----------------------------------------------------------
+        self.tracer = (
+            Tracer.for_simulator(self.sim, config.trace_capacity)
+            if config.tracing
+            else None
+        )
+
+        # -- probing & sessions ----------------------------------------------
+        self.probing = ProbingService(
+            self.sim, self.directory, self.network, config.probing
+        )
+        self.session_observers: List[Callable[[Session], None]] = []
+        self.ledger = SessionLedger(
+            self.sim,
+            self.directory,
+            self.network,
+            self._on_session_outcome,
+            tracer=self.tracer,
+        )
+
+        # -- weights (Def. 3.1 normalizers from the translator's envelope) --
+        self.composition_weights = WeightProfile.uniform(
+            config.resource_names,
+            resource_maxima=[self.translator.max_resource_demand()]
+            * len(config.resource_names),
+            bandwidth_max=self.translator.max_bandwidth_demand(),
+        )
+        self.phi_weights = PhiWeights.uniform(config.resource_names)
+
+        # -- runtime failure recovery (optional extension) -------------------
+        self.recovery: Optional[RecoveryManager] = None
+        if config.recovery is not None and config.recovery.enabled:
+            self.recovery = RecoveryManager(
+                self.sim,
+                self.directory,
+                self.network,
+                self.ledger,
+                PeerSelector(self.probing, self.phi_weights),
+                hosts_of=lambda iid: sorted(self.catalog.hosts(iid)),
+                resolve_neighbors=self.probing.resolve_selection_hops,
+                rng=self.rngs.stream("recovery"),
+                config=config.recovery,
+            )
+
+        # -- churn ----------------------------------------------------------------
+        self.churn: Optional[ChurnProcess] = None
+        if config.churn is not None and config.churn.rate_per_min > 0:
+            self.churn = ChurnProcess(
+                self.sim,
+                self.directory,
+                config.churn,
+                spawn_peer=self._spawn_peer_churn,
+                on_departure=self._on_peer_departure,
+                rng=self.rngs.stream("churn"),
+            )
+            self.churn.start()
+
+        self._next_request_id = 0
+
+    # -- peer lifecycle ----------------------------------------------------------
+    def _spawn_peer_inner(self, joined_at: float, rng: np.random.Generator) -> Peer:
+        lo, hi = self.config.capacity_range
+        scale = float(rng.uniform(lo, hi))
+        capacity = ResourceVector(
+            self.config.resource_names,
+            np.full(len(self.config.resource_names), scale),
+        )
+        return self.directory.create_peer(
+            capacity, self.config.access_capacity, joined_at
+        )
+
+    def _spawn_peer_churn(self, now: float) -> Peer:
+        """Arrival under churn: resources + replicas + ring membership."""
+        rng = self.rngs.stream("churn-arrivals")
+        peer = self._spawn_peer_inner(joined_at=now, rng=rng)
+        self.catalog.assign_new_peer(peer.peer_id, rng)
+        self.registry.peer_joined(
+            peer.peer_id, self.catalog.hosted_instances(peer.peer_id)
+        )
+        if self.tracer is not None:
+            self.tracer.emit("peer-arrived", peer=peer.peer_id)
+        return peer
+
+    def _on_peer_departure(self, peer_id: int) -> None:
+        """Departure: fail/repair sessions, clean replicas/registry/probing."""
+        if self.tracer is not None:
+            self.tracer.emit("peer-departed", peer=peer_id)
+        if self.recovery is not None:
+            self.recovery.on_peer_departure(peer_id)
+        else:
+            self.ledger.fail_peer(peer_id)
+        hosted = set(self.catalog.hosted_instances(peer_id))
+        self.catalog.remove_peer(peer_id)
+        self.registry.peer_departed(peer_id, hosted)
+        self.probing.drop_peer(peer_id)
+
+    # -- sessions ---------------------------------------------------------------
+    def _on_session_outcome(self, session: Session) -> None:
+        for observer in self.session_observers:
+            observer(session)
+
+    def on_session_outcome(self, observer: Callable[[Session], None]) -> None:
+        """Register a callback fired at every session completion/failure."""
+        self.session_observers.append(observer)
+
+    # -- requests ---------------------------------------------------------------
+    def make_request(
+        self,
+        application: str,
+        qos_level: str = "average",
+        duration: float = 10.0,
+        peer_id: Optional[int] = None,
+        out_format: Optional[str] = None,
+    ) -> UserRequest:
+        """Build a request at the current simulated time."""
+        rng = self.rngs.stream("requests")
+        if peer_id is None:
+            ids = self.directory.alive_ids
+            peer_id = ids[int(rng.integers(len(ids)))]
+        req = UserRequest(
+            request_id=self._next_request_id,
+            peer_id=peer_id,
+            application=application,
+            qos_level=qos_level,
+            session_duration=duration,
+            arrival_time=self.sim.now,
+            out_format=out_format,
+        )
+        self._next_request_id += 1
+        return req
+
+    # -- aggregators ---------------------------------------------------------------
+    def make_aggregator(self, name: str, **options) -> BaseAggregator:
+        """Build one of the §4.1 algorithms: ``qsa``, ``random``, ``fixed``.
+
+        ``qsa`` accepts ``uptime_filter`` (bool) and ``composition_method``
+        (``"dp"``/``"dijkstra"``) keyword options for the ablations.
+        """
+        rng = self.rngs.stream(f"aggregator-{name}")
+        aggregator = self._build_aggregator(name, rng, options)
+        aggregator.tracer = self.tracer
+        return aggregator
+
+    def _build_aggregator(self, name, rng, options) -> BaseAggregator:
+        if name == "qsa":
+            return QSAAggregator(
+                self.compiler,
+                self.registry,
+                self.directory,
+                self.ledger,
+                self.probing,
+                self.composition_weights,
+                options.pop("phi_weights", self.phi_weights),
+                rng,
+                uptime_filter=options.pop("uptime_filter", True),
+                composition_method=options.pop("composition_method", "dp"),
+            )
+        if name == "random":
+            return RandomAggregator(
+                self.compiler, self.registry, self.directory, self.ledger,
+                self.composition_weights, rng,
+            )
+        if name == "fixed":
+            return FixedAggregator(
+                self.compiler, self.registry, self.directory, self.ledger,
+                self.composition_weights, rng,
+            )
+        raise ValueError(f"unknown aggregator {name!r} (qsa/random/fixed)")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<P2PGrid {self.directory.n_alive} peers, "
+            f"{self.catalog.n_instances} instances, t={self.sim.now:.1f}min>"
+        )

@@ -1,0 +1,226 @@
+"""A Chord distributed hash table (Stoica et al., SIGCOMM 2001).
+
+This is the discovery substrate the paper plugs in by reference.  The
+implementation covers the pieces the aggregation model exercises:
+
+* an ``m``-bit circular identifier space; peers and keys are hashed onto
+  it with BLAKE2b;
+* **successor responsibility**: key ``k`` lives on the first node whose
+  id is >= ``k`` (mod 2^m);
+* **per-node storage with handoff**: a joining node takes over the keys
+  it becomes responsible for from its successor; a leaving node hands its
+  keys to its successor (so records survive churn, as Chord prescribes);
+* **greedy finger routing**: node ``n``'s ``i``-th finger is
+  ``successor(n + 2^i)``; a lookup repeatedly forwards to the closest
+  preceding finger and counts application-level hops, giving the
+  classic O(log N) hop behaviour (verified by the ``bench_chord_lookup``
+  bench and unit tests).
+
+Fingers are *derived* from the current ring membership (equivalent to a
+fully converged stabilization protocol) rather than incrementally
+maintained -- the simplification and its rationale are recorded in
+DESIGN.md §4.  Ring membership itself is explicit: ``join``/``leave``
+mutate a sorted id list (bisect-based, O(log N) search, O(N) splice --
+cheap at the churn rates simulated).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["ChordNode", "ChordRing"]
+
+
+def _hash_to_id(label: str, bits: int) -> int:
+    digest = hashlib.blake2b(label.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little") % (1 << bits)
+
+
+class ChordNode:
+    """One ring member: identifier plus locally stored records."""
+
+    __slots__ = ("node_id", "peer_id", "store")
+
+    def __init__(self, node_id: int, peer_id: int) -> None:
+        self.node_id = node_id
+        self.peer_id = peer_id
+        self.store: Dict[str, Any] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ChordNode peer={self.peer_id} id={self.node_id:#x}>"
+
+
+class ChordRing:
+    """The ring: membership, responsibility, storage and routing."""
+
+    def __init__(self, bits: int = 32, seed: int = 0) -> None:
+        if not 8 <= bits <= 64:
+            raise ValueError("identifier space must be 8..64 bits")
+        self.bits = bits
+        self.seed = seed
+        self._ids: List[int] = []            # sorted node ids
+        self._nodes: Dict[int, ChordNode] = {}  # node id -> node
+        self._peer_to_id: Dict[int, int] = {}   # peer id -> node id
+        #: Routing statistics.
+        self.n_lookups = 0
+        self.total_hops = 0
+
+    # -- hashing ------------------------------------------------------------
+    def node_id_for(self, peer_id: int) -> int:
+        return _hash_to_id(f"{self.seed}/peer/{peer_id}", self.bits)
+
+    def key_id(self, key: str) -> int:
+        return _hash_to_id(f"{self.seed}/key/{key}", self.bits)
+
+    # -- membership ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, peer_id: int) -> bool:
+        return peer_id in self._peer_to_id
+
+    def join(self, peer_id: int) -> ChordNode:
+        """Add a peer; it takes over its share of keys from its successor."""
+        if peer_id in self._peer_to_id:
+            raise ValueError(f"peer {peer_id} already in the ring")
+        node_id = self.node_id_for(peer_id)
+        while node_id in self._nodes:  # vanishingly rare id collision
+            node_id = (node_id + 1) % (1 << self.bits)
+        node = ChordNode(node_id, peer_id)
+        if self._ids:
+            successor = self._successor_node(node_id)
+            # Keys in (pred(node), node] move from the successor to the
+            # new node: exactly the keys whose responsible node is now us.
+            moving = [
+                k
+                for k in successor.store
+                if self._responsible_id(self.key_id(k), extra=node_id) == node_id
+            ]
+            for k in moving:
+                node.store[k] = successor.store.pop(k)
+        bisect.insort(self._ids, node_id)
+        self._nodes[node_id] = node
+        self._peer_to_id[peer_id] = node_id
+        return node
+
+    def leave(self, peer_id: int) -> None:
+        """Remove a peer; its keys hand off to its successor."""
+        node_id = self._peer_to_id.pop(peer_id, None)
+        if node_id is None:
+            raise KeyError(f"peer {peer_id} is not in the ring")
+        node = self._nodes.pop(node_id)
+        idx = bisect.bisect_left(self._ids, node_id)
+        self._ids.pop(idx)
+        if self._ids and node.store:
+            successor = self._successor_node(node_id)
+            successor.store.update(node.store)
+
+    def peers(self) -> List[int]:
+        return list(self._peer_to_id)
+
+    # -- responsibility ------------------------------------------------------
+    def _successor_node(self, ident: int) -> ChordNode:
+        """First live node at or clockwise-after ``ident``."""
+        idx = bisect.bisect_left(self._ids, ident)
+        if idx == len(self._ids):
+            idx = 0
+        return self._nodes[self._ids[idx]]
+
+    def _responsible_id(self, key_id: int, extra: Optional[int] = None) -> int:
+        """Node id responsible for ``key_id``; ``extra`` simulates a
+        candidate member not yet inserted (used during join handoff)."""
+        ids = self._ids
+        if extra is not None:
+            pos = bisect.bisect_left(ids, extra)
+            ids = ids[:pos] + [extra] + ids[pos:]
+        idx = bisect.bisect_left(ids, key_id)
+        if idx == len(ids):
+            idx = 0
+        return ids[idx]
+
+    def responsible_node(self, key: str) -> ChordNode:
+        if not self._ids:
+            raise RuntimeError("ring is empty")
+        return self._successor_node(self.key_id(key))
+
+    # -- storage ---------------------------------------------------------------
+    def put(self, key: str, value: Any) -> None:
+        self.responsible_node(key).store[key] = value
+
+    def get_local(self, key: str) -> Any:
+        """Read without routing (used by maintenance code, not lookups)."""
+        return self.responsible_node(key).store.get(key)
+
+    def update(self, key: str, fn) -> Any:
+        """Read-modify-write at the responsible node."""
+        node = self.responsible_node(key)
+        node.store[key] = value = fn(node.store.get(key))
+        return value
+
+    # -- routing ------------------------------------------------------------
+    @staticmethod
+    def _in_open_interval(x: int, a: int, b: int, space: int) -> bool:
+        """``x in (a, b)`` on the circle (empty when a == b)."""
+        if a < b:
+            return a < x < b
+        return x > a or x < b
+
+    def _closest_preceding(self, node_id: int, key_id: int) -> int:
+        """Greedy step: the farthest finger of ``node_id`` preceding key."""
+        space = 1 << self.bits
+        for i in range(self.bits - 1, -1, -1):
+            finger = self._successor_node((node_id + (1 << i)) % space).node_id
+            if self._in_open_interval(finger, node_id, key_id, space):
+                return finger
+        return node_id
+
+    def lookup(self, key: str, from_peer: int) -> Tuple[ChordNode, int]:
+        """Route from ``from_peer`` to the node holding ``key``.
+
+        Returns ``(responsible node, hop count)``; hop count is the
+        number of application-level forwardings (0 when the start node is
+        itself responsible).
+        """
+        if not self._ids:
+            raise RuntimeError("ring is empty")
+        start_id = self._peer_to_id.get(from_peer)
+        if start_id is None:
+            # A peer outside the ring bootstraps through its hashed
+            # position: one extra hop to whoever is responsible there.
+            start_id = self._successor_node(self.node_id_for(from_peer)).node_id
+        key_id = self.key_id(key)
+        space = 1 << self.bits
+        hops = 0
+        current = start_id
+        target = self._responsible_id(key_id)
+        # Greedy finger walk until the key falls between us and our
+        # successor (then one final hop to the successor).
+        while current != target:
+            succ = self._successor_node((current + 1) % space).node_id
+            if succ == target and (
+                self._in_open_interval(key_id, current, succ, space)
+                or key_id == succ
+            ):
+                current = succ
+                hops += 1
+                break
+            nxt = self._closest_preceding(current, key_id)
+            if nxt == current:
+                current = succ
+            else:
+                current = nxt
+            hops += 1
+        self.n_lookups += 1
+        self.total_hops += hops
+        return self._nodes[current], hops
+
+    def get(self, key: str, from_peer: int) -> Tuple[Any, int]:
+        """Routed read: ``(value or None, hops)``."""
+        node, hops = self.lookup(key, from_peer)
+        return node.store.get(key), hops
+
+    @property
+    def mean_hops(self) -> float:
+        return self.total_hops / self.n_lookups if self.n_lookups else 0.0

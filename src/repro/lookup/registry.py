@@ -1,0 +1,125 @@
+"""The service registry layered on the Chord DHT.
+
+Discovery is the first protocol step of on-demand composition (§3.2):
+"the P2P lookup protocol ... is invoked to retrieve the locations (i.e.,
+IP addresses) and QoS specifications (Qin, Qout, R) of all candidate
+service instances, according to the abstract service path."
+
+Records (all living in Chord node stores, re-homed automatically on
+churn by the ring's key handoff):
+
+* ``service:<name>``  -> tuple of candidate :class:`ServiceInstance`
+  specs (the co-located QoS specifications of assumption 1, §3.1);
+* ``instance:<id>``   -> frozenset of hosting peer ids (the locations).
+
+Host sets change under churn; :meth:`ServiceRegistry.peer_departed` and
+:meth:`ServiceRegistry.peer_joined` keep them in sync with the catalog's
+ground truth while exercising real DHT update paths.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Protocol, Tuple
+
+from repro.services.catalog import ServiceCatalog
+from repro.services.model import ServiceInstance
+
+__all__ = ["DhtProtocol", "ServiceRegistry"]
+
+
+class DhtProtocol(Protocol):
+    """What the registry needs from a lookup substrate.
+
+    Satisfied by both :class:`~repro.lookup.chord.ChordRing` and
+    :class:`~repro.lookup.can.CanNetwork` (the paper's "Chord or CAN").
+    """
+
+    def put(self, key: str, value: Any) -> None: ...
+    def get(self, key: str, from_peer: int) -> Tuple[Any, int]: ...
+    def update(self, key: str, fn) -> Any: ...
+    def join(self, peer_id: int): ...
+    def leave(self, peer_id: int) -> None: ...
+    def __contains__(self, peer_id: int) -> bool: ...
+
+
+class ServiceRegistry:
+    """Service and instance records on a DHT (Chord or CAN)."""
+
+    SERVICE_PREFIX = "service:"
+    INSTANCE_PREFIX = "instance:"
+
+    def __init__(self, ring: DhtProtocol, catalog: ServiceCatalog) -> None:
+        self.ring = ring
+        self.catalog = catalog
+        self.n_discoveries = 0
+        self.discovery_hops = 0
+        self._populate()
+
+    def _populate(self) -> None:
+        for service, instances in self.catalog.by_service.items():
+            self.ring.put(self.SERVICE_PREFIX + service, tuple(instances))
+        for iid, hosts in self.catalog.replicas.items():
+            self.ring.put(self.INSTANCE_PREFIX + iid, frozenset(hosts))
+
+    # -- discovery (routed; costs hops) -----------------------------------
+    def discover_service(
+        self, service: str, from_peer: int
+    ) -> Tuple[Tuple[ServiceInstance, ...], int]:
+        """All candidate instances of ``service``: ``(specs, hops)``."""
+        value, hops = self.ring.get(self.SERVICE_PREFIX + service, from_peer)
+        self.n_discoveries += 1
+        self.discovery_hops += hops
+        return (value or ()), hops
+
+    def discover_hosts(
+        self, instance_id: str, from_peer: int
+    ) -> Tuple[FrozenSet[int], int]:
+        """Peers hosting ``instance_id``: ``(host set, hops)``."""
+        value, hops = self.ring.get(self.INSTANCE_PREFIX + instance_id, from_peer)
+        self.n_discoveries += 1
+        self.discovery_hops += hops
+        return (value or frozenset()), hops
+
+    def discover_path_candidates(
+        self, services: Iterable[str], from_peer: int
+    ) -> Tuple[Dict[str, Tuple[ServiceInstance, ...]], int]:
+        """One routed lookup per abstract service; total hops returned."""
+        out: Dict[str, Tuple[ServiceInstance, ...]] = {}
+        total = 0
+        for service in services:
+            specs, hops = self.discover_service(service, from_peer)
+            out[service] = specs
+            total += hops
+        return out, total
+
+    # -- churn maintenance -----------------------------------------------------
+    def peer_departed(self, peer_id: int, hosted: Iterable[str]) -> None:
+        """Remove a departed peer from every instance record it hosted.
+
+        Must run *before* the ring drops the peer so record re-homing and
+        content updates stay ordered like the real protocol (the
+        successor inherits already-cleaned records).
+        """
+        for iid in hosted:
+            key = self.INSTANCE_PREFIX + iid
+            self.ring.update(
+                key, lambda hosts: frozenset((hosts or frozenset()) - {peer_id})
+            )
+        if peer_id in self.ring:
+            self.ring.leave(peer_id)
+
+    def peer_joined(self, peer_id: int, hosted: Iterable[str]) -> None:
+        """Add an arriving peer to the ring and its hosted records."""
+        if peer_id not in self.ring:
+            self.ring.join(peer_id)
+        for iid in hosted:
+            key = self.INSTANCE_PREFIX + iid
+            self.ring.update(
+                key, lambda hosts: frozenset((hosts or frozenset()) | {peer_id})
+            )
+
+    @property
+    def mean_discovery_hops(self) -> float:
+        if self.n_discoveries == 0:
+            return 0.0
+        return self.discovery_hops / self.n_discoveries

@@ -1,0 +1,203 @@
+"""Peers: heterogeneous end-systems with capacity, uptime and access links.
+
+Paper §4.1: "Each peer is randomly assigned an initial resource
+availability RA = [cpu, memory], ranging from [100,100] to [1000,1000]
+units.  Different units reflect the heterogeneity in P2P systems" --
+a laptop is ~[100,100], a desktop ~[500,500], a cluster server
+~[1000,1000].
+
+A :class:`Peer` tracks
+
+* ``capacity``  -- the fixed end-system resource vector,
+* ``available`` -- capacity minus active reservations,
+* ``access_bw`` -- the access-link rate (one of the evaluation's
+  bandwidth classes), with separate up/down residual counters, and
+* ``joined_at`` -- for uptime (= ``now - joined_at``), the peer-selection
+  longevity signal.
+
+:class:`PeerDirectory` owns the id space and the alive set, and provides
+vectorized views (capacity / availability matrices) so that scoring and
+churn sampling stay O(alive peers) numpy operations rather than Python
+loops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.resources import ResourceVector
+
+__all__ = ["Peer", "PeerDirectory"]
+
+
+class Peer:
+    """One peer host."""
+
+    __slots__ = (
+        "peer_id",
+        "capacity",
+        "available",
+        "access_bw",
+        "avail_up",
+        "avail_down",
+        "joined_at",
+        "departed_at",
+    )
+
+    def __init__(
+        self,
+        peer_id: int,
+        capacity: ResourceVector,
+        access_bw: float,
+        joined_at: float = 0.0,
+    ) -> None:
+        self.peer_id = peer_id
+        self.capacity = capacity
+        self.available = capacity.copy()
+        if access_bw <= 0:
+            raise ValueError(f"peer {peer_id}: access bandwidth must be positive")
+        self.access_bw = float(access_bw)
+        self.avail_up = float(access_bw)
+        self.avail_down = float(access_bw)
+        self.joined_at = float(joined_at)
+        self.departed_at: Optional[float] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self.departed_at is None
+
+    def uptime(self, now: float) -> float:
+        """Time connected to the grid so far (paper's peer-selection metric)."""
+        end = self.departed_at if self.departed_at is not None else now
+        return max(0.0, end - self.joined_at)
+
+    # -- end-system resource accounting -----------------------------------
+    def can_fit(self, requirement: ResourceVector) -> bool:
+        return self.available.covers(requirement)
+
+    def reserve(self, requirement: ResourceVector) -> bool:
+        """Atomically reserve ``requirement``; False if it does not fit."""
+        if not self.available.covers(requirement):
+            return False
+        self.available.values -= requirement.values
+        return True
+
+    def release(self, requirement: ResourceVector) -> None:
+        self.available.values += requirement.values
+        # Guard against release/reserve mismatches inflating capacity.
+        if np.any(self.available.values > self.capacity.values + 1e-9):
+            raise ValueError(
+                f"peer {self.peer_id}: release exceeds capacity "
+                f"(avail={self.available.values}, cap={self.capacity.values})"
+            )
+
+    # -- access-link accounting ---------------------------------------------
+    def reserve_up(self, bw: float) -> bool:
+        if bw > self.avail_up + 1e-9:
+            return False
+        self.avail_up -= bw
+        return True
+
+    def reserve_down(self, bw: float) -> bool:
+        if bw > self.avail_down + 1e-9:
+            return False
+        self.avail_down -= bw
+        return True
+
+    def release_up(self, bw: float) -> None:
+        self.avail_up = min(self.avail_up + bw, self.access_bw)
+
+    def release_down(self, bw: float) -> None:
+        self.avail_down = min(self.avail_down + bw, self.access_bw)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.alive else "departed"
+        return f"<Peer {self.peer_id} {state} avail={self.available.values}>"
+
+
+class PeerDirectory:
+    """The id space and alive-set of the grid, with vectorized views."""
+
+    def __init__(self, resource_names: Sequence[str] = ("cpu", "memory")) -> None:
+        self.resource_names = tuple(resource_names)
+        self._peers: Dict[int, Peer] = {}
+        self._alive_ids: List[int] = []
+        self._alive_dirty = False
+        self._next_id = 0
+
+    # -- population ----------------------------------------------------------
+    def create_peer(
+        self, capacity: ResourceVector, access_bw: float, joined_at: float
+    ) -> Peer:
+        pid = self._next_id
+        self._next_id += 1
+        peer = Peer(pid, capacity, access_bw, joined_at)
+        self._peers[pid] = peer
+        self._alive_ids.append(pid)
+        return peer
+
+    def depart(self, peer_id: int, now: float) -> Peer:
+        peer = self._peers[peer_id]
+        if not peer.alive:
+            raise ValueError(f"peer {peer_id} already departed")
+        peer.departed_at = now
+        self._alive_dirty = True
+        return peer
+
+    # -- lookup ----------------------------------------------------------
+    def __getitem__(self, peer_id: int) -> Peer:
+        return self._peers[peer_id]
+
+    def get(self, peer_id: int) -> Optional[Peer]:
+        return self._peers.get(peer_id)
+
+    def __contains__(self, peer_id: int) -> bool:
+        return peer_id in self._peers
+
+    def __len__(self) -> int:
+        return len(self._peers)
+
+    def is_alive(self, peer_id: int) -> bool:
+        peer = self._peers.get(peer_id)
+        return peer is not None and peer.alive
+
+    @property
+    def alive_ids(self) -> List[int]:
+        """Ids of currently alive peers (cached; O(1) when no churn)."""
+        if self._alive_dirty:
+            self._alive_ids = [
+                pid for pid in self._alive_ids if self._peers[pid].alive
+            ]
+            self._alive_dirty = False
+        return self._alive_ids
+
+    @property
+    def n_alive(self) -> int:
+        return len(self.alive_ids)
+
+    def alive_peers(self) -> Iterator[Peer]:
+        return (self._peers[pid] for pid in self.alive_ids)
+
+    # -- vectorized views ---------------------------------------------------
+    def uptimes(self, now: float) -> Tuple[np.ndarray, List[int]]:
+        """``(uptimes, ids)`` arrays over alive peers, aligned."""
+        ids = self.alive_ids
+        up = np.fromiter(
+            (now - self._peers[pid].joined_at for pid in ids),
+            dtype=np.float64,
+            count=len(ids),
+        )
+        return up, ids
+
+    def availability_matrix(self, peer_ids: Iterable[int]) -> np.ndarray:
+        """Rows of ``available`` vectors for the given peers."""
+        rows = [self._peers[pid].available.values for pid in peer_ids]
+        if not rows:
+            return np.empty((0, len(self.resource_names)))
+        return np.stack(rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<PeerDirectory {self.n_alive} alive / {len(self._peers)} total>"

@@ -1,0 +1,192 @@
+"""Pairwise network properties and bandwidth reservation accounting.
+
+Paper §4.1: "The end-to-end available network bandwidth between any two
+peers is defined as the bottleneck bandwidth along the network path
+between two peers, which is initialized randomly as 10M, 500k, 100k, or
+56k bps.  The network latency between two peers are also randomly set as
+200, 150, 80, 20, or 1 ms [12]."
+
+A literal N x N matrix is 10^8 entries at the paper's 10^4-peer scale, so
+pairwise classes are *derived*, not stored: a deterministic BLAKE2b hash
+of ``(seed, min(a,b), max(a,b))`` indexes into the class table.  This has
+the same marginal distribution as random initialization, is symmetric,
+uses O(1) memory, and is reproducible.
+
+End-to-end *available* bandwidth additionally accounts for consumption:
+
+``beta(a, b) = min(pair_class(a,b) - reserved(a,b), a.avail_up, b.avail_down)``
+
+where per-pair reservations live in a sparse dict (only pairs with active
+flows appear) and the access-link residuals live on the peers.  The
+access-link terms are our substitution for shared-path contention -- see
+DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.network.peer import PeerDirectory
+
+__all__ = [
+    "BANDWIDTH_CLASSES",
+    "LATENCY_CLASSES_MS",
+    "PairwiseClasses",
+    "NetworkModel",
+]
+
+#: §4.1 bottleneck-bandwidth classes (bps).
+BANDWIDTH_CLASSES: Tuple[float, ...] = (10e6, 500e3, 100e3, 56e3)
+
+#: §4.1 latency classes (ms), from [12] (Nettimer measurements).
+LATENCY_CLASSES_MS: Tuple[float, ...] = (200.0, 150.0, 80.0, 20.0, 1.0)
+
+#: Default pair-class mix: broadband-leaning, following the Gnutella/
+#: Napster population measurements the paper cites ([17]: most peers on
+#: cable/DSL or better, a modem tail).  Aligned with BANDWIDTH_CLASSES.
+DEFAULT_BANDWIDTH_WEIGHTS: Tuple[float, ...] = (0.35, 0.35, 0.2, 0.1)
+
+
+class PairwiseClasses:
+    """Deterministic, symmetric pairwise class assignment via hashing.
+
+    ``weights`` optionally skews the class distribution (e.g. towards the
+    broadband classes measured for real P2P populations [17]); ``None``
+    gives the uniform distribution.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        n_classes: int,
+        weights: Optional[Tuple[float, ...]] = None,
+    ) -> None:
+        self.seed = int(seed)
+        self.n_classes = int(n_classes)
+        if weights is None:
+            self._cumulative: Optional[np.ndarray] = None
+        else:
+            w = np.asarray(weights, dtype=np.float64)
+            if w.shape != (n_classes,) or np.any(w < 0) or w.sum() <= 0:
+                raise ValueError(f"bad class weights {weights!r}")
+            self._cumulative = np.cumsum(w / w.sum())
+
+    def class_index(self, a: int, b: int) -> int:
+        """The class index for the unordered pair ``{a, b}``."""
+        lo, hi = (a, b) if a <= b else (b, a)
+        digest = hashlib.blake2b(
+            f"{self.seed}:{lo}:{hi}".encode(), digest_size=4
+        ).digest()
+        raw = int.from_bytes(digest, "little")
+        if self._cumulative is None:
+            return raw % self.n_classes
+        u = raw / 2**32
+        return int(np.searchsorted(self._cumulative, u, side="right").clip(
+            0, self.n_classes - 1
+        ))
+
+
+class NetworkModel:
+    """End-to-end bandwidth/latency plus reservation accounting."""
+
+    def __init__(
+        self,
+        peers: PeerDirectory,
+        seed: int = 0,
+        bandwidth_classes: Tuple[float, ...] = BANDWIDTH_CLASSES,
+        latency_classes: Tuple[float, ...] = LATENCY_CLASSES_MS,
+        bandwidth_weights: Optional[Tuple[float, ...]] = None,
+    ) -> None:
+        self.peers = peers
+        self.bandwidth_classes = tuple(bandwidth_classes)
+        self.latency_classes = tuple(latency_classes)
+        if bandwidth_weights is None:
+            bandwidth_weights = DEFAULT_BANDWIDTH_WEIGHTS
+        self._bw_hash = PairwiseClasses(
+            seed * 2 + 1, len(self.bandwidth_classes), bandwidth_weights
+        )
+        self._lat_hash = PairwiseClasses(seed * 2 + 2, len(self.latency_classes))
+        #: Active per-pair reservations (sparse; unordered pair -> bps).
+        self._reserved: Dict[Tuple[int, int], float] = {}
+
+    # -- static pairwise properties -----------------------------------------
+    @staticmethod
+    def _key(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a <= b else (b, a)
+
+    def pair_capacity(self, a: int, b: int) -> float:
+        """The bottleneck-class capacity of the path between ``a``, ``b``."""
+        if a == b:
+            return float("inf")  # local connection
+        return self.bandwidth_classes[self._bw_hash.class_index(a, b)]
+
+    def latency_ms(self, a: int, b: int) -> float:
+        if a == b:
+            return 0.0
+        return self.latency_classes[self._lat_hash.class_index(a, b)]
+
+    # -- availability ---------------------------------------------------------
+    def pair_reserved(self, a: int, b: int) -> float:
+        return self._reserved.get(self._key(a, b), 0.0)
+
+    def available_bandwidth(self, src: int, dst: int) -> float:
+        """β: end-to-end available bandwidth for a ``src -> dst`` flow."""
+        if src == dst:
+            return float("inf")
+        path_avail = self.pair_capacity(src, dst) - self.pair_reserved(src, dst)
+        up = self.peers[src].avail_up
+        down = self.peers[dst].avail_down
+        return max(0.0, min(path_avail, up, down))
+
+    # -- reservations ---------------------------------------------------------
+    def reserve(self, src: int, dst: int, bw: float) -> bool:
+        """Reserve ``bw`` bps on ``src -> dst``; atomic, False on shortage."""
+        if bw < 0:
+            raise ValueError(f"negative bandwidth reservation: {bw}")
+        if src == dst or bw == 0.0:
+            return True
+        if self.available_bandwidth(src, dst) + 1e-9 < bw:
+            return False
+        src_peer, dst_peer = self.peers[src], self.peers[dst]
+        if not src_peer.reserve_up(bw):
+            return False
+        if not dst_peer.reserve_down(bw):
+            src_peer.release_up(bw)
+            return False
+        key = self._key(src, dst)
+        self._reserved[key] = self._reserved.get(key, 0.0) + bw
+        return True
+
+    def release(self, src: int, dst: int, bw: float) -> None:
+        """Release a prior reservation (tolerates departed peers)."""
+        if src == dst or bw == 0.0:
+            return
+        key = self._key(src, dst)
+        remaining = self._reserved.get(key, 0.0) - bw
+        if remaining <= 1e-9:
+            self._reserved.pop(key, None)
+        else:
+            self._reserved[key] = remaining
+        src_peer = self.peers.get(src)
+        if src_peer is not None:
+            src_peer.release_up(bw)
+        dst_peer = self.peers.get(dst)
+        if dst_peer is not None:
+            dst_peer.release_down(bw)
+
+    @property
+    def n_reserved_pairs(self) -> int:
+        return len(self._reserved)
+
+    # -- vectorized helpers ----------------------------------------------------
+    def available_bandwidth_batch(
+        self, sources: np.ndarray, dst: int
+    ) -> np.ndarray:
+        """β for many candidate sources towards one destination peer."""
+        out = np.empty(len(sources), dtype=np.float64)
+        for i, src in enumerate(sources):
+            out[i] = self.available_bandwidth(int(src), dst)
+        return out

@@ -1,0 +1,29 @@
+"""Controlled, benefit-based probing and the neighbor resolution protocol.
+
+Paper §2.2: each peer proactively probes a bounded set of "peer
+neighbors" -- at most ``M`` peers -- prioritized by benefit: 1-hop direct
+neighbors first, then 1-hop indirect, then 2-hop direct, and so on.  A
+peer ``B`` is a *direct* ``i``-hop neighbor of ``A`` when the service
+``B`` provides is the ``i``-th hop (counted from ``A``, in the reverse
+direction of the aggregation flow) of an application ``A`` itself needs;
+*indirect* when the path belongs to someone else's aggregation that ``B``
+participates in.
+
+Paper §3.3 "dynamic neighbor resolution": neighbor lists are not static
+-- after the service composer produces a path, the requesting host
+resolves the candidate providers into its direct-neighbor list, and every
+peer selected along the chain resolves the candidates of the *preceding*
+services into its indirect-neighbor list.  Entries are soft state with a
+TTL, refreshed while the service path stays in use.
+
+Probed information is **stale by up to one probe period**: the
+:class:`~repro.probing.prober.ProbingService` snapshots a target's state
+at most once per probing epoch and serves every observer that epoch's
+snapshot, which is exactly what a periodic prober would see, at O(queries)
+simulation cost (DESIGN.md §4).
+"""
+
+from repro.probing.neighbors import NeighborEntry, NeighborTable
+from repro.probing.prober import ProbingConfig, ProbingService
+
+__all__ = ["NeighborEntry", "NeighborTable", "ProbingConfig", "ProbingService"]

@@ -1,0 +1,119 @@
+"""Per-peer neighbor tables with benefit ordering and the M budget.
+
+The table keeps at most ``budget`` entries.  When over budget it evicts
+the *least beneficial* entries first, where benefit follows the paper's
+probing order ("any peer first probes its 1-hop direct neighbors, then
+1-hop indirect neighbors, then 2-hop direct neighbors and so on"):
+
+    priority = 2 * hop + (0 if direct else 1)
+
+(lower is better).  Ties are broken by recency -- fresher entries win.
+Entries are soft state: each carries an expiry time and expired entries
+are treated as absent (and lazily pruned).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["NeighborEntry", "NeighborTable"]
+
+
+@dataclass
+class NeighborEntry:
+    """One (soft-state) neighbor relationship."""
+
+    peer_id: int
+    hop: int
+    direct: bool
+    expires_at: float
+
+    @property
+    def priority(self) -> int:
+        """Benefit rank; lower probes first (paper §2.2 ordering)."""
+        return 2 * self.hop + (0 if self.direct else 1)
+
+
+class NeighborTable:
+    """The neighbor set one peer maintains (bounded by the probe budget)."""
+
+    def __init__(self, budget: int) -> None:
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        self.budget = budget
+        self._entries: Dict[int, NeighborEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, peer_id: int) -> bool:
+        return peer_id in self._entries
+
+    def entries(self) -> List[NeighborEntry]:
+        return list(self._entries.values())
+
+    def get(self, peer_id: int, now: float) -> Optional[NeighborEntry]:
+        """The active entry for ``peer_id``, or ``None`` (expired counts
+        as absent and is pruned)."""
+        entry = self._entries.get(peer_id)
+        if entry is None:
+            return None
+        if entry.expires_at < now:
+            del self._entries[peer_id]
+            return None
+        return entry
+
+    def resolve(
+        self,
+        neighbors: Iterable[Tuple[int, int, bool]],
+        now: float,
+        ttl: float,
+    ) -> int:
+        """Add/refresh ``(peer_id, hop, direct)`` relations; enforce budget.
+
+        An existing entry is refreshed (expiry extended) and upgraded to
+        the better (lower) priority of old vs. new.  Returns the number
+        of entries *newly added* (refreshes are free under the budget).
+        """
+        added = 0
+        expires = now + ttl
+        for peer_id, hop, direct in neighbors:
+            if hop < 1:
+                raise ValueError(f"hop must be >= 1, got {hop}")
+            entry = self._entries.get(peer_id)
+            if entry is not None:
+                entry.expires_at = max(entry.expires_at, expires)
+                new = NeighborEntry(peer_id, hop, direct, entry.expires_at)
+                if new.priority < entry.priority:
+                    entry.hop, entry.direct = hop, direct
+            else:
+                self._entries[peer_id] = NeighborEntry(peer_id, hop, direct, expires)
+                added += 1
+        if len(self._entries) > self.budget:
+            self._evict(now)
+        return added
+
+    def _evict(self, now: float) -> None:
+        """Drop expired entries, then worst-priority ones, down to budget."""
+        # Pass 1: expired entries go first.
+        expired = [pid for pid, e in self._entries.items() if e.expires_at < now]
+        for pid in expired:
+            del self._entries[pid]
+        overflow = len(self._entries) - self.budget
+        if overflow <= 0:
+            return
+        # Pass 2: evict by (priority desc, expiry asc) -- least beneficial,
+        # then stalest.
+        victims = sorted(
+            self._entries.values(),
+            key=lambda e: (-e.priority, e.expires_at),
+        )[:overflow]
+        for e in victims:
+            del self._entries[e.peer_id]
+
+    def drop(self, peer_id: int) -> None:
+        self._entries.pop(peer_id, None)
+
+    def active_ids(self, now: float) -> List[int]:
+        return [pid for pid, e in self._entries.items() if e.expires_at >= now]

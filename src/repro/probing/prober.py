@@ -1,0 +1,205 @@
+"""The probing service: stale-by-one-epoch performance views.
+
+Implements the :class:`~repro.core.selection.PerformanceView` protocol on
+top of per-peer :class:`~repro.probing.neighbors.NeighborTable`\\ s.
+
+Semantics
+---------
+* ``observe(observer, target)`` returns information only when ``target``
+  is an active neighbor of ``observer`` -- the scalability constraint of
+  §2.2 (no peer knows more than ``M`` others).
+* The returned state is the target's state **as of the start of the
+  current probing epoch** (``epoch = floor(now / period)``): a periodic
+  prober refreshes once per period, so every observer within an epoch
+  sees the same, possibly stale snapshot.  Snapshots are taken lazily on
+  first access per epoch, making the simulation cost proportional to
+  queries rather than ``peers x neighbors x epochs``.
+* The available bandwidth β combines the snapshot's uplink residual with
+  the (current) pair bottleneck and the observer's own downlink -- the
+  observer always knows its own side precisely.
+
+Overhead accounting
+-------------------
+``probe_messages`` counts one message per (target, epoch) snapshot and
+``resolution_messages`` counts neighbor-resolution notifications, so the
+benches can verify the paper's "probing overhead within M/N = 1%" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.resources import ResourceVector
+from repro.core.selection import PeerInfo
+from repro.network.peer import PeerDirectory
+from repro.network.topology import NetworkModel
+from repro.probing.neighbors import NeighborTable
+from repro.sim.engine import Simulator
+
+__all__ = ["ProbingConfig", "ProbingService"]
+
+
+@dataclass(frozen=True)
+class ProbingConfig:
+    """Probing parameters (defaults mirror §4.1: ``M = 100``)."""
+
+    #: Max neighbors any peer maintains/probes (the paper's ``M``).
+    budget: int = 100
+    #: Probe period in minutes (information staleness bound).
+    period: float = 1.0
+    #: Soft-state TTL for neighbor entries, minutes.
+    ttl: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("probe period must be positive")
+        if self.ttl <= 0:
+            raise ValueError("neighbor TTL must be positive")
+
+
+@dataclass
+class _Snapshot:
+    epoch: int
+    availability: np.ndarray
+    avail_up: float
+    uptime: float
+
+
+class ProbingService:
+    """Bounded-neighborhood, epoch-snapshotted performance information."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        directory: PeerDirectory,
+        network: NetworkModel,
+        config: ProbingConfig | None = None,
+    ) -> None:
+        self.sim = sim
+        self.directory = directory
+        self.network = network
+        self.config = config or ProbingConfig()
+        self._tables: Dict[int, NeighborTable] = {}
+        self._snapshots: Dict[int, _Snapshot] = {}
+        self.probe_messages = 0
+        self.resolution_messages = 0
+
+    # -- neighbor resolution (paper §3.3) ------------------------------------
+    def table(self, peer_id: int) -> NeighborTable:
+        tbl = self._tables.get(peer_id)
+        if tbl is None:
+            tbl = NeighborTable(self.config.budget)
+            self._tables[peer_id] = tbl
+        return tbl
+
+    def resolve(
+        self,
+        observer: int,
+        neighbors: Iterable[Tuple[int, int, bool]],
+        ) -> int:
+        """Resolve ``(peer_id, hop, direct)`` relations at ``observer``."""
+        triples = list(neighbors)
+        added = self.table(observer).resolve(triples, self.sim.now, self.config.ttl)
+        self.resolution_messages += len(triples)
+        return added
+
+    def resolve_selection_hops(
+        self,
+        observer: int,
+        hop_candidates: Sequence[Sequence[int]],
+        direct: bool,
+    ) -> None:
+        """Resolve the candidate providers of the next hops at ``observer``.
+
+        ``hop_candidates[i]`` are the peers able to provide the service
+        ``i+1`` hops away from the observer (reverse flow direction).
+        ``direct=True`` when the observer is the requesting host itself
+        (its own application), ``False`` for peers along someone else's
+        path (indirect neighbors).
+        """
+        triples: List[Tuple[int, int, bool]] = []
+        for i, cands in enumerate(hop_candidates):
+            hop = i + 1
+            for pid in cands:
+                if pid != observer:
+                    triples.append((pid, hop, direct))
+        if triples:
+            self.resolve(observer, triples)
+
+    def drop_peer(self, peer_id: int) -> None:
+        """Forget a departed peer everywhere (lazy tables stay lazy)."""
+        self._tables.pop(peer_id, None)
+        self._snapshots.pop(peer_id, None)
+        # Entries pointing *to* the departed peer are pruned lazily on
+        # observe() (the peer is gone; observers discover that on probe).
+
+    # -- the PerformanceView protocol -------------------------------------
+    def _snapshot(self, target: int) -> Optional[_Snapshot]:
+        peer = self.directory.get(target)
+        if peer is None or not peer.alive:
+            return None
+        epoch = int(self.sim.now / self.config.period)
+        snap = self._snapshots.get(target)
+        if snap is None or snap.epoch != epoch:
+            snap = _Snapshot(
+                epoch=epoch,
+                availability=peer.available.values.copy(),
+                avail_up=peer.avail_up,
+                uptime=peer.uptime(self.sim.now),
+            )
+            self._snapshots[target] = snap
+            self.probe_messages += 1
+        return snap
+
+    def observe(self, observer: int, target: int) -> Optional[PeerInfo]:
+        """The observer's (stale, bounded) view of target; None if unknown."""
+        tbl = self._tables.get(observer)
+        if tbl is None:
+            return None
+        entry = tbl.get(target, self.sim.now)
+        if entry is None:
+            return None
+        snap = self._snapshot(target)
+        if snap is None:
+            tbl.drop(target)  # probe discovered the departure
+            return None
+        observer_peer = self.directory.get(observer)
+        observer_down = (
+            observer_peer.avail_down if observer_peer is not None else float("inf")
+        )
+        pair_avail = self.network.pair_capacity(target, observer) - (
+            self.network.pair_reserved(target, observer)
+        )
+        beta = max(0.0, min(pair_avail, snap.avail_up, observer_down))
+        # Fast-path ResourceVector construction: observe() runs for every
+        # candidate of every hop, and the snapshot array is read-only by
+        # contract, so skip the validating constructor and the copy.
+        availability = ResourceVector.__new__(ResourceVector)
+        availability.names = self.directory.resource_names
+        availability.values = snap.availability
+        return PeerInfo(
+            peer_id=target,
+            availability=availability,
+            bandwidth_to_observer=beta,
+            uptime=snap.uptime,
+            latency=self.network.latency_ms(target, observer),
+        )
+
+    # -- overhead metrics ------------------------------------------------------
+    def overhead_ratio(self) -> float:
+        """Mean neighbors probed per peer / population size.
+
+        The paper controls this to ``M / N`` (= 1% at M=100, N=10^4).
+        """
+        n = self.directory.n_alive
+        if n == 0 or not self._tables:
+            return 0.0
+        mean_table = sum(len(t) for t in self._tables.values()) / len(self._tables)
+        return mean_table / n
+
+    @property
+    def n_tables(self) -> int:
+        return len(self._tables)

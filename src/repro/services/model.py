@@ -1,0 +1,123 @@
+"""Abstract services, service instances and abstract service paths.
+
+Terminology (paper §2.1 and §2.3):
+
+* An **abstract service** is a functional step, named by a string
+  (``"video-server"``, ``"cn2en-translator"``, ``"image-enhancer"``).
+* A **service instance** is a concrete implementation of an abstract
+  service with fixed QoS characteristics: input requirement ``Qin``,
+  output level ``Qout``, end-system resource requirement ``R`` and
+  required bandwidth ``b`` on its *outgoing* (downstream) connection.
+  The same instance may be replicated on many peers.
+* An **abstract service path** is the ordered list of abstract services a
+  distributed application needs, written in *flow order*: data flows from
+  the first element (the source, e.g. a video server) to the last element
+  (closest to the user).  The user's host itself is the data *sink* and is
+  not part of the path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.qos import QoSVector
+from repro.core.resources import ResourceVector
+
+__all__ = ["ServiceInstance", "AbstractServicePath", "instance_group"]
+
+
+@dataclass(frozen=True)
+class ServiceInstance:
+    """A concrete implementation of an abstract service.
+
+    Attributes
+    ----------
+    instance_id:
+        Globally unique identifier (e.g. ``"transcode/7"``).
+    service:
+        The abstract service this instance implements.
+    qin:
+        QoS requirement on the instance's input (must be satisfied by the
+        upstream instance's ``qout``; Eq. 1).
+    qout:
+        QoS level of the instance's output.
+    resources:
+        End-system resources ``R`` consumed while the instance runs
+        (paper: ``R = f(Qin, Qout)``).
+    bandwidth:
+        Network bandwidth ``b`` required on the instance's outgoing
+        connection (towards the data sink / user).
+    """
+
+    instance_id: str
+    service: str
+    qin: QoSVector
+    qout: QoSVector
+    resources: ResourceVector
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth < 0:
+            raise ValueError(
+                f"instance {self.instance_id!r}: negative bandwidth {self.bandwidth}"
+            )
+
+    def __repr__(self) -> str:
+        return f"<ServiceInstance {self.instance_id}>"
+
+
+@dataclass(frozen=True)
+class AbstractServicePath:
+    """An ordered list of abstract services in flow (source -> user) order.
+
+    ``hops`` equals the number of services: an *n*-hop service aggregation
+    involves *n* peers besides the requesting peer (paper §2.1).
+    """
+
+    application: str
+    services: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.services:
+            raise ValueError("abstract service path must contain >= 1 service")
+        if len(set(self.services)) != len(self.services):
+            raise ValueError(
+                f"abstract path for {self.application!r} repeats a service: "
+                f"{self.services}"
+            )
+
+    @property
+    def hops(self) -> int:
+        return len(self.services)
+
+    @property
+    def source(self) -> str:
+        """The data source service (e.g. the video server)."""
+        return self.services[0]
+
+    @property
+    def last(self) -> str:
+        """The service adjacent to the user (the final processing step)."""
+        return self.services[-1]
+
+    def reversed(self) -> Tuple[str, ...]:
+        """Services in aggregation/selection order (user side first)."""
+        return tuple(reversed(self.services))
+
+    def __len__(self) -> int:
+        return len(self.services)
+
+    def __iter__(self):
+        return iter(self.services)
+
+
+def instance_group(
+    instances: Iterable[ServiceInstance],
+) -> Dict[str, List[ServiceInstance]]:
+    """Group instances by abstract service name (the paper's
+    "service instance group for the same service", Fig. 3)."""
+    groups: Dict[str, List[ServiceInstance]] = {}
+    for inst in instances:
+        groups.setdefault(inst.service, []).append(inst)
+    return groups

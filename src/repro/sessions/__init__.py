@@ -1,0 +1,34 @@
+"""Active application sessions: multi-peer resource holds and failures.
+
+A *session* is one admitted service aggregation: a chain of service
+instances pinned to specific peers, holding end-system resources on every
+peer and bandwidth on every connection for the whole session duration.
+
+The paper's success criterion (§4.1): "A service aggregation request is
+said to be successful if and only if during the entire application
+session, all service instances' resource requirements are always
+satisfied by the resource availability along the aggregation path ...
+a service aggregation request is failed when its resource requirements
+cannot be satisfied or one of provisioning peers leaves during the
+session."
+
+Reservations are strict holds, so "always satisfied" reduces to
+(a) admission succeeding at setup and (b) no provisioning peer departing
+before the session completes -- both owned by
+:class:`~repro.sessions.session.SessionLedger`.
+"""
+
+from repro.sessions.session import Session, SessionLedger, SessionState
+from repro.sessions.admission import AdmissionError, reserve_session, rollback_session
+from repro.sessions.recovery import RecoveryConfig, RecoveryManager
+
+__all__ = [
+    "AdmissionError",
+    "RecoveryConfig",
+    "RecoveryManager",
+    "Session",
+    "SessionLedger",
+    "SessionState",
+    "reserve_session",
+    "rollback_session",
+]

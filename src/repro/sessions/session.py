@@ -1,0 +1,247 @@
+"""The session ledger: lifecycle of admitted service aggregations.
+
+``SessionLedger`` owns every active session.  It
+
+* admits sessions atomically (via :mod:`repro.sessions.admission`),
+* schedules their completion on the simulation clock,
+* fails every session touching a departing peer
+  (:meth:`SessionLedger.fail_peer`, called by the churn machinery), and
+* reports outcomes through an observer callback so the metrics layer
+  never needs to poll.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.resources import ResourceVector
+from repro.network.peer import PeerDirectory
+from repro.network.topology import NetworkModel
+from repro.services.model import ServiceInstance
+from repro.sessions.admission import (
+    AdmissionError,
+    reserve_session,
+    rollback_session,
+)
+from repro.sim.engine import Simulator
+
+__all__ = ["Session", "SessionLedger", "SessionState"]
+
+
+class SessionState(enum.Enum):
+    ACTIVE = "active"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+@dataclass
+class Session:
+    """One admitted aggregation: instances pinned to peers, holding state."""
+
+    session_id: int
+    request_id: int
+    user_peer: int
+    instances: Tuple[ServiceInstance, ...]
+    peers: Tuple[int, ...]
+    start: float
+    duration: float
+    state: SessionState = SessionState.ACTIVE
+    failure_reason: Optional[str] = None
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def participants(self) -> Set[int]:
+        """Provisioning peers (the user's own host is not provisioned)."""
+        return set(self.peers)
+
+    def connections(self) -> List[Tuple[int, int, float]]:
+        """``(src, dst, bw)`` per connection, flow order."""
+        out = []
+        for i, inst in enumerate(self.instances):
+            dst = self.peers[i + 1] if i + 1 < len(self.peers) else self.user_peer
+            out.append((self.peers[i], dst, inst.bandwidth))
+        return out
+
+
+class SessionLedger:
+    """Owns all active sessions and their reservations."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        directory: PeerDirectory,
+        network: NetworkModel,
+        on_outcome: Optional[Callable[[Session], None]] = None,
+        tracer=None,
+    ) -> None:
+        self.sim = sim
+        self.directory = directory
+        self.network = network
+        self.on_outcome = on_outcome
+        #: Optional :class:`repro.sim.trace.Tracer` for structured events.
+        self.tracer = tracer
+        self._active: Dict[int, Session] = {}
+        self._by_peer: Dict[int, Set[int]] = {}
+        self._next_id = 0
+        self.n_admitted = 0
+        self.n_completed = 0
+        self.n_failed = 0
+
+    # -- admission -----------------------------------------------------------
+    def admit(
+        self,
+        request_id: int,
+        user_peer: int,
+        instances: Sequence[ServiceInstance],
+        peers: Sequence[int],
+        duration: float,
+    ) -> Session:
+        """Admit a session (raises :class:`AdmissionError` on shortage).
+
+        On success the session holds all its reservations and its
+        completion is scheduled ``duration`` minutes out.
+        """
+        reserve_session(self.directory, self.network, instances, peers, user_peer)
+        session = Session(
+            session_id=self._next_id,
+            request_id=request_id,
+            user_peer=user_peer,
+            instances=tuple(instances),
+            peers=tuple(peers),
+            start=self.sim.now,
+            duration=duration,
+        )
+        self._next_id += 1
+        self._active[session.session_id] = session
+        for pid in session.participants | {user_peer}:
+            self._by_peer.setdefault(pid, set()).add(session.session_id)
+        self.n_admitted += 1
+        self.sim.call_in(duration, self._complete, session.session_id)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "session-admitted",
+                session_id=session.session_id,
+                request_id=request_id,
+                peers=tuple(peers),
+            )
+        return session
+
+    # -- lifecycle ---------------------------------------------------------
+    def _release(self, session: Session, skip_peer: Optional[int] = None) -> None:
+        held_res = list(zip(session.peers, (i.resources for i in session.instances)))
+        held_bw = session.connections()
+        rollback_session(
+            self.directory, self.network, held_res, held_bw, skip_peer=skip_peer
+        )
+
+    def _detach(self, session: Session) -> None:
+        self._active.pop(session.session_id, None)
+        for pid in session.participants | {session.user_peer}:
+            members = self._by_peer.get(pid)
+            if members is not None:
+                members.discard(session.session_id)
+                if not members:
+                    del self._by_peer[pid]
+
+    def _complete(self, session_id: int) -> None:
+        session = self._active.get(session_id)
+        if session is None:  # already failed
+            return
+        session.state = SessionState.COMPLETED
+        self._release(session)
+        self._detach(session)
+        self.n_completed += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "session-completed",
+                session_id=session.session_id,
+                request_id=session.request_id,
+            )
+        if self.on_outcome is not None:
+            self.on_outcome(session)
+
+    def fail_session(
+        self, session_id: int, reason: str, skip_peer: Optional[int] = None
+    ) -> Optional[Session]:
+        """Fail one active session: release holds, detach, report.
+
+        ``skip_peer`` suppresses the end-system release for a departed
+        peer (its ledger died with it).  Returns the failed session, or
+        ``None`` if it was not active.
+        """
+        session = self._active.get(session_id)
+        if session is None:
+            return None
+        session.state = SessionState.FAILED
+        session.failure_reason = reason
+        self._release(session, skip_peer=skip_peer)
+        self._detach(session)
+        self.n_failed += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "session-failed",
+                session_id=session.session_id,
+                request_id=session.request_id,
+                reason=reason,
+            )
+        if self.on_outcome is not None:
+            self.on_outcome(session)
+        return session
+
+    def fail_peer(self, peer_id: int) -> List[Session]:
+        """Fail every session that ``peer_id`` participates in.
+
+        Called when a peer departs; the departing peer's own end-system
+        reservations are not released (they leave with it), everything
+        else is.  Returns the failed sessions.
+        """
+        failed = []
+        for sid in list(self._by_peer.get(peer_id, ())):
+            session = self.fail_session(
+                sid, f"peer {peer_id} departed", skip_peer=peer_id
+            )
+            if session is not None:
+                failed.append(session)
+        return failed
+
+    def reassign_session_peers(
+        self, session_id: int, new_peers: Tuple[int, ...]
+    ) -> None:
+        """Repoint an active session at a repaired peer placement.
+
+        Used by runtime failure recovery: the caller has already moved
+        the underlying reservations; this keeps the session record and
+        the peer -> sessions index consistent.
+        """
+        session = self._active.get(session_id)
+        if session is None:
+            raise KeyError(f"session {session_id} is not active")
+        if len(new_peers) != len(session.peers):
+            raise ValueError("peer count must match the instance count")
+        old = session.participants | {session.user_peer}
+        session.peers = tuple(new_peers)
+        new = session.participants | {session.user_peer}
+        for pid in old - new:
+            members = self._by_peer.get(pid)
+            if members is not None:
+                members.discard(session_id)
+                if not members:
+                    del self._by_peer[pid]
+        for pid in new - old:
+            self._by_peer.setdefault(pid, set()).add(session_id)
+
+    # -- inspection -----------------------------------------------------------
+    @property
+    def n_active(self) -> int:
+        return len(self._active)
+
+    def active_sessions(self) -> List[Session]:
+        return list(self._active.values())
+
+    def sessions_on_peer(self, peer_id: int) -> Set[int]:
+        return set(self._by_peer.get(peer_id, ()))

@@ -1,0 +1,148 @@
+"""Structured event tracing for simulation runs.
+
+Long simulations are hard to debug from aggregate metrics alone; the
+tracer records *what happened, when* as typed, timestamped records:
+
+* :class:`TraceEvent` -- ``(time, kind, **fields)``.
+* :class:`Tracer` -- an append-only, optionally bounded event log with
+  kind-based subscription and query helpers.
+
+Subsystems emit through a tracer the grid owns (``grid.tracer``) when
+tracing is enabled (``GridConfig.tracing=True``); emission is a no-op
+attribute check when disabled, so the hot path stays clean (the guides'
+"measure first" rule -- tracing must not distort what it measures).
+
+Event kinds used by the library:
+
+====================  =====================================================
+kind                  fields
+====================  =====================================================
+``request``           request_id, peer, application, level, status
+``session-admitted``  session_id, request_id, peers
+``session-completed`` session_id, request_id
+``session-failed``    session_id, request_id, reason
+``session-repaired``  session_id, dead_peer, new_peers
+``peer-arrived``      peer
+``peer-departed``     peer
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped occurrence."""
+
+    time: float
+    kind: str
+    fields: Dict[str, Any]
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __str__(self) -> str:
+        inner = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.time:9.3f}] {self.kind:<18} {inner}"
+
+
+class Tracer:
+    """Append-only event log with subscriptions.
+
+    Parameters
+    ----------
+    clock:
+        A zero-argument callable returning the current simulated time
+        (pass ``sim`` 's ``lambda: sim.now`` or the simulator itself via
+        :meth:`for_simulator`).
+    capacity:
+        Keep at most this many most-recent events (``None`` = unbounded).
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        capacity: Optional[int] = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be positive (or None)")
+        self._clock = clock
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._subscribers: Dict[str, List[Callable[[TraceEvent], None]]] = {}
+        self.n_emitted = 0
+
+    @classmethod
+    def for_simulator(cls, sim, capacity: Optional[int] = None) -> "Tracer":
+        return cls(lambda: sim.now, capacity)
+
+    # -- emission ---------------------------------------------------------
+    def emit(self, kind: str, **fields: Any) -> TraceEvent:
+        event = TraceEvent(self._clock(), kind, fields)
+        self._events.append(event)
+        self.n_emitted += 1
+        for fn in self._subscribers.get(kind, ()):
+            fn(event)
+        for fn in self._subscribers.get("*", ()):
+            fn(event)
+        return event
+
+    # -- subscription -------------------------------------------------------
+    def subscribe(
+        self, kind: str, fn: Callable[[TraceEvent], None]
+    ) -> Callable[[], None]:
+        """Call ``fn`` on every ``kind`` event (``"*"`` = all kinds).
+
+        Returns an unsubscribe callable.
+        """
+        self._subscribers.setdefault(kind, []).append(fn)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers[kind].remove(fn)
+            except (KeyError, ValueError):
+                pass
+
+        return unsubscribe
+
+    # -- queries ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(
+        self,
+        kind: Optional[str] = None,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+    ) -> List[TraceEvent]:
+        return [
+            e
+            for e in self._events
+            if (kind is None or e.kind == kind) and since <= e.time <= until
+        ]
+
+    def counts(self) -> Counter:
+        """Events by kind (over the retained window)."""
+        return Counter(e.kind for e in self._events)
+
+    def last(self, kind: Optional[str] = None) -> Optional[TraceEvent]:
+        for e in reversed(self._events):
+            if kind is None or e.kind == kind:
+                return e
+        return None
+
+    def format(self, kind: Optional[str] = None, limit: int = 50) -> str:
+        """The most recent ``limit`` (matching) events, one per line."""
+        selected = self.events(kind)[-limit:]
+        return "\n".join(str(e) for e in selected)

@@ -1,0 +1,5 @@
+"""Workload generation (the request stream of §4.1)."""
+
+from repro.workload.generator import RequestGenerator, WorkloadConfig
+
+__all__ = ["RequestGenerator", "WorkloadConfig"]

@@ -1,0 +1,222 @@
+"""Unit tests for the QCS composition algorithm (paper §3.2, Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.composition import (
+    ComposedPath,
+    CompositionError,
+    ConsistencyGraph,
+    compose_qcs,
+)
+from repro.core.qos import Interval, QoSVector
+from repro.core.resources import ResourceTuple, ResourceVector, WeightProfile
+from repro.services.model import AbstractServicePath, ServiceInstance
+
+NAMES = ("cpu", "memory")
+
+
+def rv(cpu, mem):
+    return ResourceVector(NAMES, [cpu, mem])
+
+
+def inst(iid, service, fmt_in, fmt_out, cpu=10.0, mem=10.0, bw=100.0, quality=3):
+    """A simple instance: format pipeline plus a quality level."""
+    return ServiceInstance(
+        instance_id=iid,
+        service=service,
+        qin=QoSVector(format=fmt_in, quality=Interval(1, 3)),
+        qout=QoSVector(format=fmt_out, quality=quality),
+        resources=rv(cpu, mem),
+        bandwidth=bw,
+    )
+
+
+WEIGHTS = WeightProfile.uniform(NAMES, (1000.0, 1000.0), 1e7)
+USER = QoSVector(format="final", quality=Interval(1, 3))
+
+
+def two_hop_catalog():
+    """source: raw -> mid; last: mid -> final."""
+    return {
+        "src": [
+            inst("src/cheap", "src", "nothing", "mid", cpu=10, mem=10, bw=100),
+            inst("src/costly", "src", "nothing", "mid", cpu=500, mem=500, bw=1e6),
+        ],
+        "last": [
+            inst("last/cheap", "last", "mid", "final", cpu=20, mem=20, bw=200),
+            inst("last/costly", "last", "mid", "final", cpu=400, mem=400, bw=5e5),
+        ],
+    }
+
+
+PATH2 = AbstractServicePath("app", ("src", "last"))
+
+
+class TestConsistencyGraph:
+    def test_layers_reverse_flow_order(self):
+        g = ConsistencyGraph(PATH2, two_hop_catalog(), USER, WEIGHTS)
+        # layer 0 = sink, layer 1 = 'last', layer 2 = 'src'
+        assert g.n_layers == 3
+        assert [i.service for i in g.layers[1]] == ["last", "last"]
+        assert [i.service for i in g.layers[2]] == ["src", "src"]
+
+    def test_missing_candidates_raise(self):
+        with pytest.raises(CompositionError):
+            ConsistencyGraph(PATH2, {"src": two_hop_catalog()["src"]}, USER, WEIGHTS)
+
+    def test_edge_counts(self):
+        g = ConsistencyGraph(PATH2, two_hop_catalog(), USER, WEIGHTS)
+        # sink accepts both 'last' instances; each 'last' accepts both 'src'.
+        assert g.n_edges == 2 + 4
+        assert g.n_nodes == 1 + 4
+
+    def test_inconsistent_edges_absent(self):
+        cat = two_hop_catalog()
+        cat["last"].append(inst("last/wrongin", "last", "XXX", "final"))
+        g = ConsistencyGraph(PATH2, cat, USER, WEIGHTS)
+        # wrongin connects to sink but receives no edges from src layer.
+        assert (0, 0) in g.edges
+        assert len(g.edges[(0, 0)]) == 3  # all three satisfy the sink
+        assert (1, 2) not in g.edges  # wrongin has no consistent predecessor
+
+
+class TestComposeQCS:
+    def test_picks_minimum_aggregate_path(self):
+        path = compose_qcs(PATH2, two_hop_catalog(), USER, WEIGHTS)
+        assert [i.instance_id for i in path.instances] == ["src/cheap", "last/cheap"]
+
+    def test_flow_order_source_first(self):
+        path = compose_qcs(PATH2, two_hop_catalog(), USER, WEIGHTS)
+        assert path.instances[0].service == "src"
+        assert path.instances[-1].service == "last"
+
+    def test_total_aggregates_resources_and_bandwidth(self):
+        path = compose_qcs(PATH2, two_hop_catalog(), USER, WEIGHTS)
+        assert path.total.resources == rv(30, 30)
+        assert path.total.bandwidth == 300.0
+
+    def test_score_matches_weight_profile(self):
+        path = compose_qcs(PATH2, two_hop_catalog(), USER, WEIGHTS)
+        assert np.isclose(path.score, WEIGHTS.score(path.total))
+
+    def test_edge_bandwidths_selection_order(self):
+        path = compose_qcs(PATH2, two_hop_catalog(), USER, WEIGHTS)
+        # selection order = user side first: last's bw, then src's bw.
+        assert path.edge_bandwidths() == (200.0, 100.0)
+
+    def test_user_requirement_enforced_at_last_hop(self):
+        cat = two_hop_catalog()
+        strict_user = QoSVector(format="final", quality=Interval(3, 3))
+        for i, it in enumerate(cat["last"]):
+            cat["last"][i] = inst(
+                it.instance_id, "last", "mid", "final", quality=2,
+                cpu=it.resources.values[0],
+            )
+        with pytest.raises(CompositionError):
+            compose_qcs(PATH2, cat, strict_user, WEIGHTS)
+
+    def test_no_consistent_chain_raises(self):
+        cat = {
+            "src": [inst("s", "src", "nothing", "A")],
+            "last": [inst("l", "last", "B", "final")],  # wants B, src gives A
+        }
+        with pytest.raises(CompositionError):
+            compose_qcs(PATH2, cat, USER, WEIGHTS)
+
+    def test_single_hop_aggregation(self):
+        """Content retrieval: a single-hop path (paper §2.1)."""
+        path1 = AbstractServicePath("retrieval", ("store",))
+        cat = {
+            "store": [
+                inst("store/a", "store", "n/a", "final", cpu=100),
+                inst("store/b", "store", "n/a", "final", cpu=10),
+            ]
+        }
+        path = compose_qcs(path1, cat, USER, WEIGHTS)
+        assert [i.instance_id for i in path.instances] == ["store/b"]
+        assert path.hops == 1
+
+    def test_dijkstra_and_dp_agree(self):
+        rng = np.random.default_rng(42)
+        for trial in range(25):
+            n_services = int(rng.integers(2, 6))
+            services = tuple(f"s{k}" for k in range(n_services))
+            cat = {}
+            for k, svc in enumerate(services):
+                fmt_in = f"if{k}"
+                fmt_out = f"if{k+1}" if k < n_services - 1 else "final"
+                cat[svc] = [
+                    inst(
+                        f"{svc}/{j}",
+                        svc,
+                        fmt_in,
+                        fmt_out,
+                        cpu=float(rng.uniform(1, 900)),
+                        mem=float(rng.uniform(1, 900)),
+                        bw=float(rng.uniform(1e3, 9e6)),
+                    )
+                    for j in range(int(rng.integers(1, 8)))
+                ]
+            apath = AbstractServicePath(f"t{trial}", services)
+            a = compose_qcs(apath, cat, USER, WEIGHTS, method="dp")
+            b = compose_qcs(apath, cat, USER, WEIGHTS, method="dijkstra")
+            assert [i.instance_id for i in a.instances] == [
+                i.instance_id for i in b.instances
+            ]
+            assert np.isclose(a.score, b.score)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            compose_qcs(PATH2, two_hop_catalog(), USER, WEIGHTS, method="bogus")
+
+    def test_exhaustive_agreement_on_small_instances(self):
+        """QCS result equals brute-force minimum over all consistent paths."""
+        rng = np.random.default_rng(7)
+        for trial in range(20):
+            services = ("a", "b", "c")
+            cat = {}
+            fmts = ["x", "y"]
+            for k, svc in enumerate(services):
+                cat[svc] = [
+                    inst(
+                        f"{svc}/{j}",
+                        svc,
+                        fmt_in=str(rng.choice(fmts)) + str(k),
+                        fmt_out=(str(rng.choice(fmts)) + str(k + 1))
+                        if k < 2
+                        else "final",
+                        cpu=float(rng.uniform(1, 500)),
+                        mem=float(rng.uniform(1, 500)),
+                        bw=float(rng.uniform(1e3, 1e6)),
+                    )
+                    for j in range(3)
+                ]
+            apath = AbstractServicePath(f"t{trial}", services)
+            # Brute force over the 27 combinations.
+            best = None
+            from repro.core.qos import satisfies
+
+            for ia in cat["a"]:
+                for ib in cat["b"]:
+                    for ic in cat["c"]:
+                        if not satisfies(ic.qout, USER):
+                            continue
+                        if not satisfies(ib.qout, ic.qin):
+                            continue
+                        if not satisfies(ia.qout, ib.qin):
+                            continue
+                        total = (
+                            ResourceTuple(ia.resources, ia.bandwidth)
+                            + ResourceTuple(ib.resources, ib.bandwidth)
+                            + ResourceTuple(ic.resources, ic.bandwidth)
+                        )
+                        s = WEIGHTS.score(total)
+                        if best is None or s < best[0]:
+                            best = (s, (ia, ib, ic))
+            if best is None:
+                with pytest.raises(CompositionError):
+                    compose_qcs(apath, cat, USER, WEIGHTS)
+            else:
+                got = compose_qcs(apath, cat, USER, WEIGHTS)
+                assert np.isclose(got.score, best[0])

@@ -1,0 +1,83 @@
+"""Unit tests for the decision-trace explainer."""
+
+import pytest
+
+from repro.core.aggregation import AggregationStatus
+from repro.core.explain import explain_result
+from repro.grid import GridConfig, P2PGrid
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return P2PGrid(GridConfig(n_peers=250, seed=21))
+
+
+def aggregate_until(grid, admitted=True, tries=20):
+    agg = grid.make_aggregator("qsa")
+    last = None
+    for _ in range(tries):
+        req = grid.make_request("video-on-demand", duration=1.0)
+        last = agg.aggregate(req)
+        if last.admitted == admitted:
+            return last
+    return last
+
+
+class TestExplainAdmitted:
+    def test_contains_all_sections(self, grid):
+        result = aggregate_until(grid, admitted=True)
+        assert result.admitted
+        text = explain_result(result)
+        assert "request #" in text
+        assert "admitted" in text
+        assert "tier 1" in text
+        assert "tier 2" in text
+        assert "session #" in text
+        assert "DHT hops" in text
+
+    def test_one_line_per_instance_and_hop(self, grid):
+        result = aggregate_until(grid, admitted=True)
+        text = explain_result(result)
+        n = len(result.composed.instances)
+        assert sum(1 for l in text.splitlines() if l.strip().startswith("[")) == n
+        assert sum(
+            1 for l in text.splitlines() if l.strip().startswith("hop ")
+        ) == n
+
+    def test_phi_or_fallback_shown(self, grid):
+        result = aggregate_until(grid, admitted=True)
+        text = explain_result(result)
+        assert ("Φ=" in text) or ("random fallback" in text)
+
+    def test_peers_in_trace_match_result(self, grid):
+        result = aggregate_until(grid, admitted=True)
+        text = explain_result(result)
+        for pid in result.peers:
+            assert f"peer {pid}" in text
+
+
+class TestExplainFailures:
+    def test_composition_failure_explained(self, grid):
+        from repro.core.composition import CompositionError
+
+        agg = grid.make_aggregator("qsa")
+        agg.compose = lambda *a, **kw: (_ for _ in ()).throw(
+            CompositionError("x")
+        )
+        res = agg.aggregate(grid.make_request("video-on-demand", duration=1.0))
+        text = explain_result(res)
+        assert "composition-failed" in text
+        assert "no path produced" in text
+
+    def test_baseline_without_hop_trace(self, grid):
+        agg = grid.make_aggregator("random")
+        res = None
+        for _ in range(10):
+            res = agg.aggregate(
+                grid.make_request("video-on-demand", duration=1.0)
+            )
+            if res.admitted:
+                break
+        text = explain_result(res)
+        if res.admitted:
+            assert "no per-hop trace" in text

@@ -1,0 +1,79 @@
+"""Unit tests for result export (JSON/CSV)."""
+
+import csv
+import json
+import math
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.export import (
+    result_to_dict,
+    save_result_json,
+    series_to_csv,
+    sweep_to_csv,
+)
+from repro.experiments.runner import run_experiment
+from repro.grid import GridConfig
+from repro.workload.generator import WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    cfg = ExperimentConfig(
+        grid=GridConfig(n_peers=150, seed=3),
+        workload=WorkloadConfig(rate_per_min=20.0, horizon=3.0,
+                                duration_range=(1.0, 2.0)),
+    )
+    return run_experiment(cfg.with_algorithm("qsa"))
+
+
+class TestResultJson:
+    def test_dict_fields(self, result):
+        d = result_to_dict(result)
+        assert d["algorithm"] == "qsa"
+        assert 0.0 <= d["success_ratio"] <= 1.0
+        assert d["config"]["n_peers"] == 150
+        assert d["config"]["churn_per_min"] == 0.0
+        assert "records" not in d
+
+    def test_records_included_on_request(self, result):
+        d = result_to_dict(result, include_records=True)
+        assert len(d["records"]) == result.n_requests
+        sample = d["records"][0]
+        assert {"request_id", "status", "success"} <= set(sample)
+
+    def test_roundtrips_through_json(self, result, tmp_path):
+        path = save_result_json(result, tmp_path / "run.json",
+                                include_records=True)
+        loaded = json.loads(path.read_text())
+        assert loaded["n_requests"] == result.n_requests
+        assert loaded["breakdown"] == dict(result.metrics.breakdown())
+
+
+class TestSweepCsv:
+    def test_writes_rows(self, tmp_path):
+        path = sweep_to_csv(
+            "rate", [100, 200],
+            {"qsa": [0.9, 0.8], "random": [0.7, 0.6]},
+            tmp_path / "sweep.csv",
+        )
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["rate", "qsa", "random"]
+        assert rows[1] == ["100", "0.9", "0.7"]
+        assert len(rows) == 3
+
+    def test_length_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            sweep_to_csv("x", [1, 2], {"a": [0.5]}, tmp_path / "bad.csv")
+
+
+class TestSeriesCsv:
+    def test_nan_becomes_empty_cell(self, tmp_path):
+        path = series_to_csv(
+            [2.0, 4.0], {"qsa": [0.5, math.nan]}, tmp_path / "series.csv"
+        )
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["time_min", "qsa"]
+        assert rows[1] == ["2.0", "0.5"]
+        assert rows[2] == ["4.0", ""]

@@ -1,0 +1,89 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.plotting import MARKERS, ascii_chart
+
+
+def simple_series():
+    return {"a": ([0, 1, 2], [0.0, 0.5, 1.0])}
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart(simple_series(), width=4)
+        with pytest.raises(ValueError):
+            ascii_chart(simple_series(), height=2)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": ([0, 1], [1.0])})
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": ([0, 1], [math.nan, math.nan])})
+
+
+class TestRendering:
+    def test_contains_markers_and_legend(self):
+        out = ascii_chart(simple_series(), x_label="t")
+        assert "*" in out
+        assert "* a" in out
+        assert "t" in out
+
+    def test_title_rendered(self):
+        out = ascii_chart(simple_series(), title="My Chart")
+        assert out.splitlines()[0] == "My Chart"
+
+    def test_multi_series_distinct_markers(self):
+        out = ascii_chart({
+            "one": ([0, 1], [0.1, 0.2]),
+            "two": ([0, 1], [0.8, 0.9]),
+        })
+        assert MARKERS[0] in out and MARKERS[1] in out
+        assert "one" in out and "two" in out
+
+    def test_y_range_labels(self):
+        out = ascii_chart(simple_series(), y_range=(0.0, 1.0))
+        assert "1" in out.splitlines()[0]
+        lines = out.splitlines()
+        assert any(line.strip().startswith("0 ") or "0 ┤" in line
+                   for line in lines)
+
+    def test_x_axis_extents_printed(self):
+        out = ascii_chart({"a": ([5, 50], [0.1, 0.9])})
+        assert "5" in out and "50" in out
+
+    def test_nan_gap_does_not_crash(self):
+        out = ascii_chart({"a": ([0, 1, 2, 3], [0.1, math.nan, 0.5, 0.6])})
+        assert "*" in out
+
+    def test_flat_series_padded(self):
+        out = ascii_chart({"a": ([0, 1], [0.5, 0.5])})
+        assert "*" in out
+
+    def test_single_point_series(self):
+        out = ascii_chart({"a": ([1], [0.5])}, y_range=(0, 1))
+        assert "*" in out
+
+    def test_line_is_connected(self):
+        """Monotone data should mark nearly every column."""
+        xs = list(range(10))
+        ys = [x / 9 for x in xs]
+        out = ascii_chart({"a": (xs, ys)}, width=30, height=10)
+        plot_lines = [l for l in out.splitlines() if "│" in l or "┤" in l]
+        marked_cols = set()
+        for line in plot_lines:
+            body = line.split("│")[-1].split("┤")[-1]
+            for i, ch in enumerate(body):
+                if ch == "*":
+                    marked_cols.add(i)
+        assert len(marked_cols) >= 25  # dense coverage across 30 columns

@@ -1,0 +1,114 @@
+"""Unit tests for multi-seed replication statistics."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.replication import (
+    AlgorithmStats,
+    ReplicationResult,
+    replicate,
+    t_interval,
+)
+from repro.grid import GridConfig
+from repro.workload.generator import WorkloadConfig
+
+
+class TestTInterval:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            t_interval([])
+
+    def test_single_observation_infinite(self):
+        mean, hw = t_interval([0.5])
+        assert mean == 0.5
+        assert hw == float("inf")
+
+    def test_identical_observations_zero_width(self):
+        mean, hw = t_interval([0.7, 0.7, 0.7])
+        assert mean == pytest.approx(0.7)
+        assert hw == pytest.approx(0.0)
+
+    def test_known_small_sample(self):
+        # n=2: t(df=1)=12.706, sem = std/sqrt(2).
+        mean, hw = t_interval([0.0, 1.0])
+        sem = np.std([0.0, 1.0], ddof=1) / np.sqrt(2)
+        assert mean == 0.5
+        assert hw == pytest.approx(12.706 * sem)
+
+    def test_large_sample_uses_normal(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0.5, 0.1, size=100)
+        mean, hw = t_interval(x)
+        assert hw == pytest.approx(1.96 * x.std(ddof=1) / 10, rel=1e-6)
+
+    def test_coverage_simulation(self):
+        """~95% of intervals should cover the true mean."""
+        rng = np.random.default_rng(1)
+        covered = 0
+        trials = 300
+        for _ in range(trials):
+            x = rng.normal(0.0, 1.0, size=8)
+            mean, hw = t_interval(x)
+            covered += abs(mean) <= hw
+        assert 0.88 <= covered / trials <= 1.0
+
+
+class TestAlgorithmStats:
+    def test_summary_string(self):
+        s = AlgorithmStats("qsa", [0.8, 0.9])
+        text = str(s)
+        assert "qsa" in text and "n=2" in text
+
+    def test_std_single(self):
+        assert AlgorithmStats("x", [0.5]).std == 0.0
+
+
+class TestReplicationResult:
+    def make(self):
+        return ReplicationResult(
+            stats={
+                "qsa": AlgorithmStats("qsa", [0.9, 0.8, 0.85]),
+                "random": AlgorithmStats("random", [0.7, 0.75, 0.9]),
+            },
+            seeds=(0, 1, 2),
+        )
+
+    def test_wins(self):
+        r = self.make()
+        assert r.wins("qsa", "random") == 2
+        assert r.wins("random", "qsa") == 1
+
+    def test_dominates(self):
+        r = self.make()
+        assert not r.dominates("qsa", "random")
+
+    def test_summary_lists_all(self):
+        text = self.make().summary()
+        assert "qsa" in text and "random" in text
+
+
+class TestReplicate:
+    @pytest.fixture(scope="class")
+    def replication(self):
+        base = ExperimentConfig(
+            grid=GridConfig(n_peers=200),
+            workload=WorkloadConfig(rate_per_min=20.0, horizon=4.0,
+                                    duration_range=(1.0, 3.0)),
+        )
+        return replicate(base, algorithms=("qsa", "random"), n_seeds=3)
+
+    def test_runs_all_seeds(self, replication):
+        assert replication.seeds == (0, 1, 2)
+        assert len(replication.stats["qsa"].ratios) == 3
+
+    def test_qsa_wins_most_seeds(self, replication):
+        assert replication.wins("qsa", "random") >= 2
+
+    def test_ratios_in_bounds(self, replication):
+        for stats in replication.stats.values():
+            assert all(0.0 <= r <= 1.0 for r in stats.ratios)
+
+    def test_n_seeds_validated(self):
+        with pytest.raises(ValueError):
+            replicate(ExperimentConfig(), n_seeds=0)

@@ -1,0 +1,39 @@
+"""Unit tests for text reporting helpers."""
+
+import numpy as np
+
+from repro.experiments.reporting import banner, format_series_table, format_sweep_table
+
+
+class TestBanner:
+    def test_contains_title(self):
+        out = banner("Figure 5", "subtitle here")
+        assert "Figure 5" in out
+        assert "subtitle here" in out
+
+    def test_no_subtitle(self):
+        out = banner("T")
+        assert out.count("\n") == 2
+
+
+class TestSweepTable:
+    def test_rows_and_columns(self):
+        out = format_sweep_table(
+            "rate", [100, 200], {"qsa": [0.9, 0.8], "random": [0.7, 0.6]}
+        )
+        lines = out.splitlines()
+        assert "qsa" in lines[0] and "random" in lines[0]
+        assert len(lines) == 4  # header + rule + 2 rows
+        assert "100" in lines[2]
+        assert "0.900" in lines[2]
+        assert "0.600" in lines[3]
+
+
+class TestSeriesTable:
+    def test_nan_renders_dash(self):
+        out = format_series_table(
+            "t", [2.0, 4.0], {"qsa": [0.5, np.nan]}
+        )
+        lines = out.splitlines()
+        assert "0.500" in lines[2]
+        assert "-" in lines[3]

@@ -1,0 +1,99 @@
+"""Integration tests for the experiment runner (small scale)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, default_scale, paper_scale
+from repro.experiments.runner import run_experiment
+from repro.grid import GridConfig
+from repro.network.churn import ChurnConfig
+from repro.workload.generator import WorkloadConfig
+
+
+def tiny_config(algorithm="qsa", rate=30.0, horizon=5.0, churn=0.0, seed=0):
+    return ExperimentConfig(
+        grid=GridConfig(
+            n_peers=200,
+            seed=seed,
+            churn=ChurnConfig(rate_per_min=churn) if churn > 0 else None,
+        ),
+        workload=WorkloadConfig(rate_per_min=rate, horizon=horizon,
+                                duration_range=(1.0, 5.0)),
+        algorithm=algorithm,
+    )
+
+
+class TestRunExperiment:
+    def test_all_requests_resolved(self):
+        result = run_experiment(tiny_config())
+        assert result.n_requests > 0
+        assert result.metrics.n_resolved == result.n_requests
+
+    def test_success_ratio_bounds(self):
+        result = run_experiment(tiny_config())
+        assert 0.0 <= result.success_ratio <= 1.0
+
+    def test_summary_mentions_algorithm(self):
+        result = run_experiment(tiny_config("random"))
+        assert result.summary().startswith("random")
+
+    def test_reproducible(self):
+        a = run_experiment(tiny_config(seed=5))
+        b = run_experiment(tiny_config(seed=5))
+        assert a.n_requests == b.n_requests
+        assert a.success_ratio == b.success_ratio
+
+    def test_seed_changes_results(self):
+        a = run_experiment(tiny_config(seed=1))
+        b = run_experiment(tiny_config(seed=2))
+        assert a.n_requests != b.n_requests or a.success_ratio != b.success_ratio
+
+    def test_churn_run_counts_events(self):
+        result = run_experiment(tiny_config(churn=5.0))
+        assert result.n_arrivals + result.n_departures > 0
+
+    def test_probe_overhead_reported_for_qsa(self):
+        result = run_experiment(tiny_config("qsa"))
+        assert result.probe_overhead > 0.0
+
+    def test_series_available(self):
+        result = run_experiment(tiny_config())
+        times, ratios = result.series(bin_minutes=1.0)
+        assert len(times) == len(ratios) == 5
+
+
+class TestConfigHelpers:
+    def test_default_scale_shrinks_population(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        cfg = default_scale(rate_per_min=200, horizon=60)
+        assert cfg.grid.n_peers == 1000
+        assert cfg.workload.rate_per_min == pytest.approx(20.0)
+        # The paper's 1% probing fraction is preserved.
+        assert cfg.grid.probing.budget == 10
+
+    def test_paper_scale_literal(self):
+        cfg = paper_scale(rate_per_min=200, horizon=400)
+        assert cfg.grid.n_peers == 10_000
+        assert cfg.grid.probing.budget == 100
+        assert cfg.workload.rate_per_min == 200
+
+    def test_with_algorithm(self):
+        cfg = default_scale(100, 10).with_algorithm("qsa", uptime_filter=False)
+        assert cfg.algorithm == "qsa"
+        assert cfg.algorithm_options == {"uptime_filter": False}
+
+    def test_with_seed(self):
+        cfg = default_scale(100, 10).with_seed(9)
+        assert cfg.grid.seed == 9
+
+    def test_paper_scale_env_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PAPER_SCALE", "1")
+        cfg = default_scale(rate_per_min=200, horizon=60)
+        assert cfg.grid.n_peers == 10_000
+
+    def test_churn_config_scaled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        cfg = default_scale(rate_per_min=100, horizon=60, churn_per_min=100)
+        assert cfg.grid.churn is not None
+        assert cfg.grid.churn.rate_per_min == pytest.approx(10.0)

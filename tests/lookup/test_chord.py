@@ -1,0 +1,178 @@
+"""Unit tests for the Chord DHT."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.lookup.chord import ChordRing
+
+
+def ring_with(n, bits=16, seed=0):
+    ring = ChordRing(bits=bits, seed=seed)
+    for pid in range(n):
+        ring.join(pid)
+    return ring
+
+
+class TestMembership:
+    def test_join_and_contains(self):
+        ring = ring_with(5)
+        assert len(ring) == 5
+        assert 3 in ring and 99 not in ring
+
+    def test_double_join_rejected(self):
+        ring = ring_with(2)
+        with pytest.raises(ValueError):
+            ring.join(0)
+
+    def test_leave_unknown_rejected(self):
+        ring = ring_with(2)
+        with pytest.raises(KeyError):
+            ring.leave(42)
+
+    def test_bits_bounds(self):
+        with pytest.raises(ValueError):
+            ChordRing(bits=4)
+        with pytest.raises(ValueError):
+            ChordRing(bits=128)
+
+
+class TestResponsibility:
+    def test_put_get_roundtrip(self):
+        ring = ring_with(20)
+        ring.put("service:video", ("a", "b"))
+        value, hops = ring.get("service:video", from_peer=7)
+        assert value == ("a", "b")
+        assert hops >= 0
+
+    def test_get_missing_returns_none(self):
+        ring = ring_with(5)
+        value, _ = ring.get("nope", from_peer=0)
+        assert value is None
+
+    def test_responsible_node_is_successor_of_key(self):
+        ring = ring_with(50)
+        key = "some-key"
+        node = ring.responsible_node(key)
+        kid = ring.key_id(key)
+        # No other node id lies in [key_id, node_id) going clockwise.
+        for other_id in ring._ids:
+            if other_id == node.node_id:
+                continue
+            if kid <= node.node_id:
+                assert not (kid <= other_id < node.node_id)
+
+    def test_update_read_modify_write(self):
+        ring = ring_with(10)
+        ring.put("hosts", frozenset({1}))
+        ring.update("hosts", lambda h: frozenset(h | {2}))
+        value, _ = ring.get("hosts", from_peer=0)
+        assert value == frozenset({1, 2})
+
+    def test_empty_ring_raises(self):
+        ring = ChordRing(bits=16)
+        with pytest.raises(RuntimeError):
+            ring.responsible_node("k")
+        with pytest.raises(RuntimeError):
+            ring.lookup("k", from_peer=0)
+
+
+class TestHandoff:
+    def test_keys_survive_join(self):
+        ring = ring_with(10)
+        keys = [f"key-{i}" for i in range(200)]
+        for k in keys:
+            ring.put(k, k.upper())
+        for pid in range(10, 60):
+            ring.join(pid)
+        for k in keys:
+            value, _ = ring.get(k, from_peer=0)
+            assert value == k.upper()
+
+    def test_keys_survive_leave(self):
+        ring = ring_with(60)
+        keys = [f"key-{i}" for i in range(200)]
+        for k in keys:
+            ring.put(k, k.upper())
+        for pid in range(40):
+            ring.leave(pid)
+        for k in keys:
+            value, _ = ring.get(k, from_peer=50)
+            assert value == k.upper()
+
+    def test_keys_survive_mixed_churn(self):
+        rng = np.random.default_rng(0)
+        ring = ring_with(50)
+        keys = [f"key-{i}" for i in range(100)]
+        for k in keys:
+            ring.put(k, 1)
+        next_pid = 50
+        members = set(range(50))
+        for _ in range(200):
+            if rng.random() < 0.5 and len(members) > 5:
+                victim = int(rng.choice(sorted(members)))
+                ring.leave(victim)
+                members.discard(victim)
+            else:
+                ring.join(next_pid)
+                members.add(next_pid)
+                next_pid += 1
+        for k in keys:
+            value, _ = ring.get(k, from_peer=sorted(members)[0])
+            assert value == 1
+
+    def test_storage_roughly_balanced(self):
+        ring = ring_with(64, bits=32)
+        for i in range(6400):
+            ring.put(f"key-{i}", i)
+        sizes = [len(n.store) for n in ring._nodes.values()]
+        assert sum(sizes) == 6400
+        # Consistent hashing balance: max node holds O(log n / n) share.
+        assert max(sizes) < 6400 * 0.15
+
+
+class TestRouting:
+    def test_lookup_from_nonmember_bootstraps(self):
+        ring = ring_with(10)
+        ring.put("k", "v")
+        value, hops = ring.get("k", from_peer=12345)
+        assert value == "v"
+
+    def test_hops_zero_when_start_is_responsible(self):
+        ring = ring_with(10)
+        ring.put("k", "v")
+        owner = ring.responsible_node("k").peer_id
+        _, hops = ring.get("k", from_peer=owner)
+        assert hops == 0
+
+    def test_hop_count_logarithmic(self):
+        """Mean lookup hops grow like O(log2 N) (<= ~1.5 log2 N slack)."""
+        rng = np.random.default_rng(1)
+        for n in (32, 128, 512):
+            ring = ring_with(n, bits=32, seed=2)
+            keys = [f"key-{i}" for i in range(100)]
+            for k in keys:
+                ring.put(k, 1)
+            hops = []
+            for k in keys:
+                start = int(rng.integers(n))
+                _, h = ring.get(k, from_peer=start)
+                hops.append(h)
+            mean = np.mean(hops)
+            assert mean <= 1.5 * math.log2(n), (n, mean)
+
+    def test_lookup_statistics_accumulate(self):
+        ring = ring_with(16)
+        ring.put("k", 1)
+        before = ring.n_lookups
+        ring.get("k", from_peer=3)
+        assert ring.n_lookups == before + 1
+        assert ring.mean_hops >= 0.0
+
+    def test_single_node_ring(self):
+        ring = ring_with(1)
+        ring.put("k", "v")
+        value, hops = ring.get("k", from_peer=0)
+        assert value == "v"
+        assert hops == 0

@@ -1,0 +1,101 @@
+"""Unit tests for the Chord-backed service registry."""
+
+import numpy as np
+import pytest
+
+from repro.lookup.chord import ChordRing
+from repro.lookup.registry import ServiceRegistry
+from repro.services.applications import default_applications
+from repro.services.catalog import CatalogConfig, generate_catalog
+
+
+@pytest.fixture()
+def setup():
+    rng = np.random.default_rng(0)
+    apps = default_applications()[:3]
+    peer_ids = list(range(200))
+    catalog = generate_catalog(
+        apps,
+        peer_ids,
+        rng,
+        CatalogConfig(instances_per_service=(4, 6), replicas_per_instance=(5, 10)),
+    )
+    ring = ChordRing(bits=24, seed=1)
+    for pid in peer_ids:
+        ring.join(pid)
+    registry = ServiceRegistry(ring, catalog)
+    return apps, catalog, ring, registry
+
+
+class TestDiscovery:
+    def test_discover_service_returns_all_instances(self, setup):
+        apps, catalog, ring, registry = setup
+        service = apps[0].services[0]
+        specs, hops = registry.discover_service(service, from_peer=5)
+        assert {s.instance_id for s in specs} == {
+            s.instance_id for s in catalog.candidates(service)
+        }
+        assert hops >= 0
+
+    def test_discover_unknown_service_empty(self, setup):
+        _, _, _, registry = setup
+        specs, _ = registry.discover_service("no-such-service", from_peer=0)
+        assert specs == ()
+
+    def test_discover_hosts_matches_catalog(self, setup):
+        apps, catalog, _, registry = setup
+        iid = next(iter(catalog.instances))
+        hosts, _ = registry.discover_hosts(iid, from_peer=3)
+        assert hosts == frozenset(catalog.hosts(iid))
+
+    def test_discover_path_accumulates_hops(self, setup):
+        apps, _, _, registry = setup
+        services = apps[1].services
+        candidates, hops = registry.discover_path_candidates(services, from_peer=9)
+        assert set(candidates) == set(services)
+        assert hops >= 0
+        assert registry.n_discoveries >= len(services)
+
+    def test_mean_discovery_hops(self, setup):
+        _, catalog, _, registry = setup
+        assert registry.mean_discovery_hops == 0.0
+        iid = next(iter(catalog.instances))
+        registry.discover_hosts(iid, from_peer=1)
+        assert registry.mean_discovery_hops >= 0.0
+
+
+class TestChurnMaintenance:
+    def test_departed_peer_removed_from_host_records(self, setup):
+        apps, catalog, ring, registry = setup
+        # Find a peer hosting something.
+        pid = next(iter(catalog.hosted_by))
+        hosted = set(catalog.hosted_instances(pid))
+        assert hosted
+        registry.peer_departed(pid, hosted)
+        for iid in hosted:
+            hosts, _ = registry.discover_hosts(iid, from_peer=0)
+            assert pid not in hosts
+        assert pid not in ring
+
+    def test_joined_peer_added_to_host_records(self, setup):
+        apps, catalog, ring, registry = setup
+        new_pid = 10_000
+        some_iids = list(catalog.instances)[:3]
+        registry.peer_joined(new_pid, some_iids)
+        assert new_pid in ring
+        for iid in some_iids:
+            hosts, _ = registry.discover_hosts(iid, from_peer=0)
+            assert new_pid in hosts
+
+    def test_records_survive_heavy_ring_churn(self, setup):
+        apps, catalog, ring, registry = setup
+        service = apps[0].services[0]
+        before, _ = registry.discover_service(service, from_peer=150)
+        # Cycle half of the membership (peers without replicas for
+        # simplicity: use ids above the catalog population).
+        for pid in range(0, 80):
+            hosted = set(catalog.hosted_instances(pid))
+            catalog.remove_peer(pid)
+            registry.peer_departed(pid, hosted)
+        after, _ = registry.discover_service(service, from_peer=150)
+        assert {s.instance_id for s in after} == {s.instance_id for s in before}

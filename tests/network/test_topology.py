@@ -1,0 +1,154 @@
+"""Unit tests for pairwise classes and bandwidth accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.resources import ResourceVector
+from repro.network.peer import PeerDirectory
+from repro.network.topology import (
+    BANDWIDTH_CLASSES,
+    LATENCY_CLASSES_MS,
+    NetworkModel,
+    PairwiseClasses,
+)
+
+NAMES = ("cpu", "memory")
+
+
+def make_net(n=10, access=1e6, seed=0, weights=None):
+    d = PeerDirectory(NAMES)
+    for _ in range(n):
+        d.create_peer(ResourceVector(NAMES, [100, 100]), access, 0.0)
+    return d, NetworkModel(d, seed=seed, bandwidth_weights=weights)
+
+
+class TestPairwiseClasses:
+    def test_deterministic_and_symmetric(self):
+        pc = PairwiseClasses(seed=3, n_classes=4)
+        assert pc.class_index(5, 9) == pc.class_index(9, 5)
+        assert pc.class_index(5, 9) == PairwiseClasses(3, 4).class_index(5, 9)
+
+    def test_seed_changes_assignment(self):
+        a = PairwiseClasses(1, 4)
+        b = PairwiseClasses(2, 4)
+        diffs = sum(
+            a.class_index(i, j) != b.class_index(i, j)
+            for i in range(20)
+            for j in range(i + 1, 20)
+        )
+        assert diffs > 0
+
+    def test_uniform_marginal_distribution(self):
+        pc = PairwiseClasses(seed=0, n_classes=4)
+        counts = np.zeros(4)
+        for i in range(100):
+            for j in range(i + 1, 100):
+                counts[pc.class_index(i, j)] += 1
+        frac = counts / counts.sum()
+        assert np.all(np.abs(frac - 0.25) < 0.02)
+
+    def test_weighted_marginal_distribution(self):
+        w = (0.5, 0.3, 0.15, 0.05)
+        pc = PairwiseClasses(seed=0, n_classes=4, weights=w)
+        counts = np.zeros(4)
+        for i in range(120):
+            for j in range(i + 1, 120):
+                counts[pc.class_index(i, j)] += 1
+        frac = counts / counts.sum()
+        assert np.all(np.abs(frac - np.array(w)) < 0.02)
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ValueError):
+            PairwiseClasses(0, 4, weights=(1.0, 0.0))
+        with pytest.raises(ValueError):
+            PairwiseClasses(0, 2, weights=(-1.0, 2.0))
+
+
+class TestNetworkModel:
+    def test_pair_capacity_in_classes(self):
+        _, net = make_net()
+        for a in range(5):
+            for b in range(a + 1, 5):
+                assert net.pair_capacity(a, b) in BANDWIDTH_CLASSES
+
+    def test_latency_in_classes(self):
+        _, net = make_net()
+        assert net.latency_ms(0, 1) in LATENCY_CLASSES_MS
+        assert net.latency_ms(0, 0) == 0.0
+
+    def test_self_pair_infinite(self):
+        _, net = make_net()
+        assert net.pair_capacity(3, 3) == float("inf")
+        assert net.available_bandwidth(3, 3) == float("inf")
+
+    def test_available_includes_access_links(self):
+        d, net = make_net(access=500.0)
+        # Pair class is way above the access link, so access dominates.
+        assert net.available_bandwidth(0, 1) <= 500.0
+
+    def test_reserve_decrements_and_release_restores(self):
+        d, net = make_net(access=1e6)
+        before = net.available_bandwidth(0, 1)
+        assert net.reserve(0, 1, 200.0)
+        assert net.available_bandwidth(0, 1) == pytest.approx(before - 200.0)
+        assert d[0].avail_up == pytest.approx(1e6 - 200.0)
+        assert d[1].avail_down == pytest.approx(1e6 - 200.0)
+        net.release(0, 1, 200.0)
+        assert net.available_bandwidth(0, 1) == pytest.approx(before)
+        assert net.n_reserved_pairs == 0
+
+    def test_reserve_rejects_when_insufficient(self):
+        d, net = make_net(access=100.0)
+        assert not net.reserve(0, 1, 150.0)
+        # State unchanged after rejection.
+        assert d[0].avail_up == 100.0
+        assert d[1].avail_down == 100.0
+
+    def test_reserve_fills_pair_capacity(self):
+        d, net = make_net(access=1e9)
+        cap = net.pair_capacity(0, 1)
+        assert net.reserve(0, 1, cap)
+        assert net.available_bandwidth(0, 1) == 0.0
+        assert not net.reserve(0, 1, 1.0)
+
+    def test_directional_reservations_share_pair(self):
+        """Flows in both directions share the bottleneck capacity."""
+        d, net = make_net(access=1e9)
+        cap = net.pair_capacity(0, 1)
+        assert net.reserve(0, 1, cap * 0.6)
+        assert not net.reserve(1, 0, cap * 0.6)
+        assert net.reserve(1, 0, cap * 0.4)
+
+    def test_zero_reservation_noop(self):
+        d, net = make_net()
+        assert net.reserve(0, 1, 0.0)
+        assert net.n_reserved_pairs == 0
+
+    def test_negative_reservation_rejected(self):
+        _, net = make_net()
+        with pytest.raises(ValueError):
+            net.reserve(0, 1, -5.0)
+
+    def test_release_tolerates_departed_peers(self):
+        d, net = make_net()
+        assert net.reserve(0, 1, 100.0)
+        d.depart(1, 0.0)
+        net.release(0, 1, 100.0)  # must not raise
+        assert net.n_reserved_pairs == 0
+
+    def test_available_bandwidth_batch(self):
+        d, net = make_net(n=6)
+        sources = np.array([0, 1, 2])
+        batch = net.available_bandwidth_batch(sources, dst=5)
+        for i, src in enumerate(sources):
+            assert batch[i] == net.available_bandwidth(int(src), 5)
+
+    def test_access_capacity_bounds_total_flows(self):
+        d, net = make_net(access=1000.0)
+        # Peer 0 fans out to many destinations; uplink caps the total.
+        total = 0.0
+        for dst in range(1, 10):
+            if net.reserve(0, dst, 300.0):
+                total += 300.0
+        assert total <= 1000.0
+        assert d[0].avail_up == pytest.approx(1000.0 - total)

@@ -1,0 +1,158 @@
+"""Unit tests for the probing service (staleness, budget, overhead)."""
+
+import numpy as np
+import pytest
+
+from repro.core.resources import ResourceVector
+from repro.network.peer import PeerDirectory
+from repro.network.topology import NetworkModel
+from repro.probing.prober import ProbingConfig, ProbingService
+from repro.sim import Simulator
+
+NAMES = ("cpu", "memory")
+
+
+def rv(cpu, mem):
+    return ResourceVector(NAMES, [cpu, mem])
+
+
+def make(n=10, budget=100, period=1.0, ttl=10.0):
+    sim = Simulator()
+    d = PeerDirectory(NAMES)
+    for i in range(n):
+        d.create_peer(rv(100, 100), 1e6, joined_at=-float(i))
+    net = NetworkModel(d, seed=0)
+    probing = ProbingService(
+        sim, d, net, ProbingConfig(budget=budget, period=period, ttl=ttl)
+    )
+    return sim, d, net, probing
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbingConfig(period=0.0)
+        with pytest.raises(ValueError):
+            ProbingConfig(ttl=0.0)
+
+
+class TestVisibility:
+    def test_unknown_target_invisible(self):
+        sim, d, net, probing = make()
+        assert probing.observe(0, 1) is None
+
+    def test_resolved_target_visible(self):
+        sim, d, net, probing = make()
+        probing.resolve(0, [(1, 1, True)])
+        info = probing.observe(0, 1)
+        assert info is not None
+        assert info.peer_id == 1
+        assert list(info.availability.values) == [100.0, 100.0]
+
+    def test_visibility_not_symmetric(self):
+        sim, d, net, probing = make()
+        probing.resolve(0, [(1, 1, True)])
+        assert probing.observe(1, 0) is None
+
+    def test_budget_limits_visibility(self):
+        sim, d, net, probing = make(n=10, budget=3)
+        probing.resolve(0, [(i, 1, True) for i in range(1, 10)])
+        visible = [i for i in range(1, 10) if probing.observe(0, i) is not None]
+        assert len(visible) == 3
+
+    def test_departed_target_dropped_on_observe(self):
+        sim, d, net, probing = make()
+        probing.resolve(0, [(1, 1, True)])
+        d.depart(1, 0.0)
+        assert probing.observe(0, 1) is None
+        assert 1 not in probing.table(0)
+
+    def test_resolve_selection_hops_direct_and_skip_self(self):
+        sim, d, net, probing = make()
+        probing.resolve_selection_hops(0, [[1, 0], [2, 3]], direct=True)
+        assert probing.observe(0, 1) is not None
+        assert probing.observe(0, 2) is not None
+        assert 0 not in probing.table(0)
+        e1 = probing.table(0).get(1, 0.0)
+        e2 = probing.table(0).get(2, 0.0)
+        assert e1.hop == 1 and e2.hop == 2 and e1.direct
+
+
+class TestStaleness:
+    def test_same_epoch_serves_snapshot(self):
+        sim, d, net, probing = make(period=1.0)
+        probing.resolve(0, [(1, 1, True)])
+        before = probing.observe(0, 1)
+        # The target's load changes mid-epoch...
+        d[1].reserve(rv(50, 50))
+        after = probing.observe(0, 1)
+        # ...but the observer still sees the epoch snapshot.
+        assert list(after.availability.values) == list(before.availability.values)
+
+    def test_new_epoch_refreshes(self):
+        sim, d, net, probing = make(period=1.0)
+        probing.resolve(0, [(1, 1, True)])
+        probing.observe(0, 1)
+        d[1].reserve(rv(50, 50))
+        sim.timeout(1.5)
+        sim.run()  # advance the clock past the epoch boundary
+        info = probing.observe(0, 1)
+        assert list(info.availability.values) == [50.0, 50.0]
+
+    def test_snapshot_shared_across_observers(self):
+        sim, d, net, probing = make(period=1.0)
+        probing.resolve(0, [(2, 1, True)])
+        probing.resolve(1, [(2, 1, True)])
+        probing.observe(0, 2)
+        msgs = probing.probe_messages
+        probing.observe(1, 2)  # same epoch: no second probe message
+        assert probing.probe_messages == msgs
+
+    def test_uptime_reported_from_snapshot(self):
+        sim, d, net, probing = make()
+        probing.resolve(0, [(3, 1, True)])
+        info = probing.observe(0, 3)
+        assert info.uptime == pytest.approx(3.0)  # joined at -3
+
+
+class TestBandwidth:
+    def test_beta_bounded_by_pair_and_links(self):
+        sim, d, net, probing = make()
+        probing.resolve(0, [(1, 1, True)])
+        info = probing.observe(0, 1)
+        assert info.bandwidth_to_observer <= net.pair_capacity(1, 0)
+        assert info.bandwidth_to_observer <= d[1].avail_up
+        assert info.bandwidth_to_observer <= d[0].avail_down
+
+    def test_latency_reported(self):
+        sim, d, net, probing = make()
+        probing.resolve(0, [(1, 1, True)])
+        info = probing.observe(0, 1)
+        assert info.latency == net.latency_ms(1, 0)
+
+
+class TestOverhead:
+    def test_overhead_ratio_tracks_budget(self):
+        sim, d, net, probing = make(n=10, budget=2)
+        probing.resolve(0, [(i, 1, True) for i in range(1, 10)])
+        # One table with 2 entries over 10 alive peers = 0.2.
+        assert probing.overhead_ratio() == pytest.approx(0.2)
+
+    def test_overhead_zero_without_tables(self):
+        sim, d, net, probing = make()
+        assert probing.overhead_ratio() == 0.0
+
+    def test_message_counters(self):
+        sim, d, net, probing = make()
+        probing.resolve(0, [(1, 1, True), (2, 2, False)])
+        assert probing.resolution_messages == 2
+        probing.observe(0, 1)
+        probing.observe(0, 2)
+        assert probing.probe_messages == 2
+
+    def test_drop_peer_clears_state(self):
+        sim, d, net, probing = make()
+        probing.resolve(0, [(1, 1, True)])
+        probing.observe(0, 1)
+        probing.drop_peer(0)
+        assert probing.n_tables == 0

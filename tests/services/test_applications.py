@@ -1,0 +1,68 @@
+"""Unit tests for the application templates (§4.1 workload shapes)."""
+
+import pytest
+
+from repro.services.applications import (
+    QUALITY_LEVELS,
+    ApplicationTemplate,
+    default_applications,
+)
+
+
+class TestDefaults:
+    def test_ten_applications(self):
+        assert len(default_applications()) == 10
+
+    def test_path_lengths_between_2_and_5(self):
+        for app in default_applications():
+            assert 2 <= app.hops <= 5
+
+    def test_all_lengths_represented(self):
+        lengths = {a.hops for a in default_applications()}
+        assert lengths == {2, 3, 4, 5}
+
+    def test_names_unique(self):
+        names = [a.name for a in default_applications()]
+        assert len(set(names)) == len(names)
+
+    def test_services_globally_unique(self):
+        """No two applications share an abstract service name (each app's
+        catalog is generated independently)."""
+        seen = set()
+        for app in default_applications():
+            for s in app.services:
+                assert s not in seen
+                seen.add(s)
+
+
+class TestInterfaces:
+    def test_interface_format_count(self):
+        app = ApplicationTemplate("x", ("a", "b"), formats_per_interface=4)
+        assert len(app.interface_formats(0)) == 4
+        assert len(app.interface_formats(1)) == 4
+
+    def test_origin_interface_single_format(self):
+        app = ApplicationTemplate("x", ("a", "b"))
+        assert len(app.interface_formats(-1)) == 1
+
+    def test_interface_out_of_range(self):
+        app = ApplicationTemplate("x", ("a", "b"))
+        with pytest.raises(IndexError):
+            app.interface_formats(2)
+
+    def test_user_formats_are_final_interface(self):
+        app = ApplicationTemplate("x", ("a", "b", "c"))
+        assert app.user_formats() == app.interface_formats(2)
+
+    def test_format_names_scoped_by_app(self):
+        a = ApplicationTemplate("app1", ("s1x",))
+        b = ApplicationTemplate("app2", ("s2x",))
+        assert not set(a.interface_formats(0)) & set(b.interface_formats(0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ApplicationTemplate("x", ("a",), formats_per_interface=0)
+
+
+def test_quality_levels_contract():
+    assert QUALITY_LEVELS == {"low": 1, "average": 2, "high": 3}

@@ -1,0 +1,76 @@
+"""Unit tests for the request front end (QoS compiler)."""
+
+import numpy as np
+import pytest
+
+from repro.core.qos import Interval
+from repro.services.applications import default_applications
+from repro.services.qoscompiler import QoSCompiler, UserRequest
+
+
+def make_request(**kw):
+    defaults = dict(
+        request_id=0,
+        peer_id=1,
+        application="video-on-demand",
+        qos_level="high",
+        session_duration=10.0,
+        arrival_time=0.0,
+    )
+    defaults.update(kw)
+    return UserRequest(**defaults)
+
+
+@pytest.fixture()
+def compiler():
+    return QoSCompiler.from_templates(default_applications())
+
+
+class TestUserRequest:
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            make_request(qos_level="ultra")
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            make_request(session_duration=0.0)
+
+
+class TestCompile:
+    def test_path_matches_template(self, compiler):
+        path, _ = compiler.compile(make_request(), np.random.default_rng(0))
+        assert path.application == "video-on-demand"
+        assert path.services == ("video-server", "transcoder", "video-player")
+
+    def test_quality_requirement_from_level(self, compiler):
+        for level, floor in (("low", 1), ("average", 2), ("high", 3)):
+            _, qos = compiler.compile(
+                make_request(qos_level=level), np.random.default_rng(0)
+            )
+            assert qos["quality"] == Interval(floor, 3)
+
+    def test_format_drawn_from_user_vocabulary(self, compiler):
+        app = {a.name: a for a in default_applications()}["video-on-demand"]
+        for seed in range(10):
+            _, qos = compiler.compile(make_request(), np.random.default_rng(seed))
+            assert qos["format"] in app.user_formats()
+
+    def test_explicit_format_respected(self, compiler):
+        app = {a.name: a for a in default_applications()}["video-on-demand"]
+        fmt = app.user_formats()[1]
+        _, qos = compiler.compile(make_request(out_format=fmt))
+        assert qos["format"] == fmt
+
+    def test_foreign_format_rejected(self, compiler):
+        with pytest.raises(ValueError):
+            compiler.compile(make_request(out_format="bogus-format"))
+
+    def test_no_rng_and_no_format_rejected(self, compiler):
+        with pytest.raises(ValueError):
+            compiler.compile(make_request())
+
+    def test_unknown_application_rejected(self, compiler):
+        with pytest.raises(KeyError):
+            compiler.compile(
+                make_request(application="no-such-app"), np.random.default_rng(0)
+            )

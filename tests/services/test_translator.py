@@ -1,0 +1,69 @@
+"""Unit tests for the analytic QoS -> resource translator."""
+
+import numpy as np
+import pytest
+
+from repro.services.translator import DEFAULT_BANDWIDTH_RANGES, AnalyticTranslator
+
+
+class TestValidation:
+    def test_bad_base_demand(self):
+        with pytest.raises(ValueError):
+            AnalyticTranslator(base_demand=(0.0, 10.0))
+        with pytest.raises(ValueError):
+            AnalyticTranslator(base_demand=(50.0, 10.0))
+
+    def test_negative_quality_factor(self):
+        with pytest.raises(ValueError):
+            AnalyticTranslator(quality_factor=-0.1)
+
+    def test_bad_bandwidth_range(self):
+        with pytest.raises(ValueError):
+            AnalyticTranslator(bandwidth_ranges={1: (0.0, 100.0)})
+
+
+class TestDraws:
+    def test_resources_within_scaled_envelope(self):
+        t = AnalyticTranslator(base_demand=(10, 50), quality_factor=0.5)
+        rng = np.random.default_rng(0)
+        for quality in (1, 2, 3):
+            scale = t.quality_scale(quality)
+            for _ in range(50):
+                r = t.resources_for(quality, rng)
+                assert np.all(r.values >= 10 * scale - 1e-9)
+                assert np.all(r.values <= 50 * scale + 1e-9)
+
+    def test_quality_scale_monotone(self):
+        t = AnalyticTranslator()
+        assert t.quality_scale(1) < t.quality_scale(2) < t.quality_scale(3)
+
+    def test_bandwidth_within_range(self):
+        t = AnalyticTranslator()
+        rng = np.random.default_rng(1)
+        for quality, (lo, hi) in DEFAULT_BANDWIDTH_RANGES.items():
+            for _ in range(50):
+                b = t.bandwidth_for(quality, rng)
+                assert lo <= b <= hi
+
+    def test_unknown_quality_rejected(self):
+        t = AnalyticTranslator()
+        with pytest.raises(ValueError):
+            t.bandwidth_for(42, np.random.default_rng(0))
+
+    def test_resource_names_respected(self):
+        t = AnalyticTranslator(resource_names=("cpu", "memory", "disk"))
+        r = t.resources_for(1, np.random.default_rng(0))
+        assert r.names == ("cpu", "memory", "disk")
+
+    def test_envelopes(self):
+        t = AnalyticTranslator(base_demand=(10, 50), quality_factor=0.5)
+        assert t.max_resource_demand() == 50 * t.quality_scale(3)
+        assert t.max_bandwidth_demand() == max(
+            hi for _, hi in DEFAULT_BANDWIDTH_RANGES.values()
+        )
+
+    def test_deterministic_under_seeded_rng(self):
+        t = AnalyticTranslator()
+        a = t.resources_for(2, np.random.default_rng(5))
+        b = t.resources_for(2, np.random.default_rng(5))
+        assert a == b

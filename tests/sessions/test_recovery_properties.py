@@ -1,0 +1,74 @@
+"""Property test: recovery keeps the books balanced under any kill order.
+
+Random interleavings of request arrivals, time advances and peer
+departures run against a recovery-enabled grid; after every event the
+resource/bandwidth invariants must hold, and after draining, everything
+must be released.  This is the recovery analogue of
+``test_conservation.py`` (which covers the no-recovery ledger).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.grid import GridConfig, P2PGrid
+from repro.sessions.recovery import RecoveryConfig
+
+events = st.lists(
+    st.sampled_from(["request", "advance", "kill", "kill", "request"]),
+    min_size=5,
+    max_size=35,
+)
+
+
+def check_invariants(grid):
+    for peer in grid.directory.alive_peers():
+        assert np.all(peer.available.values >= -1e-6)
+        assert np.all(peer.available.values <= peer.capacity.values + 1e-6)
+        assert -1e-6 <= peer.avail_up <= peer.access_bw + 1e-6
+        assert -1e-6 <= peer.avail_down <= peer.access_bw + 1e-6
+    for session in grid.ledger.active_sessions():
+        for pid in session.peers:
+            assert grid.directory.is_alive(pid), (
+                f"active session {session.session_id} on dead peer {pid}"
+            )
+
+
+@settings(max_examples=15, deadline=None)
+@given(events, st.integers(0, 10_000))
+def test_recovery_conserves_under_random_schedules(schedule, seed):
+    grid = P2PGrid(GridConfig(
+        n_peers=120,
+        seed=seed % 50,
+        recovery=RecoveryConfig(max_attempts=2),
+    ))
+    agg = grid.make_aggregator("qsa")
+    rng = np.random.default_rng(seed)
+    apps = [a.name for a in grid.applications]
+
+    for op in schedule:
+        if op == "request":
+            app = apps[int(rng.integers(len(apps)))]
+            agg.aggregate(grid.make_request(
+                app,
+                qos_level=("low", "average", "high")[int(rng.integers(3))],
+                duration=float(rng.uniform(0.5, 8.0)),
+            ))
+        elif op == "advance":
+            grid.sim.run(until=grid.sim.now + float(rng.uniform(0.2, 2.0)))
+        else:  # kill: departure through the full grid path
+            alive = grid.directory.alive_ids
+            if len(alive) <= 10:
+                continue
+            victim = alive[int(rng.integers(len(alive)))]
+            grid._on_peer_departure(victim)
+            grid.directory.depart(victim, grid.sim.now)
+        check_invariants(grid)
+
+    grid.sim.run()
+    assert grid.ledger.n_active == 0
+    assert grid.network.n_reserved_pairs == 0
+    for peer in grid.directory.alive_peers():
+        assert np.allclose(peer.available.values, peer.capacity.values,
+                           atol=1e-6)
+        assert np.isclose(peer.avail_up, peer.access_bw)
+        assert np.isclose(peer.avail_down, peer.access_bw)

@@ -1,0 +1,153 @@
+"""Unit tests for the structured event tracer."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.trace import TraceEvent, Tracer
+
+
+def make():
+    sim = Simulator()
+    return sim, Tracer.for_simulator(sim)
+
+
+class TestEmission:
+    def test_event_carries_time_and_fields(self):
+        sim, tracer = make()
+        sim.call_at(3.0, lambda: tracer.emit("ping", a=1, b="x"))
+        sim.run()
+        event = tracer.last("ping")
+        assert event.time == 3.0
+        assert event.a == 1 and event.b == "x"
+
+    def test_missing_field_raises_attribute_error(self):
+        sim, tracer = make()
+        event = tracer.emit("k", x=1)
+        with pytest.raises(AttributeError):
+            _ = event.y
+
+    def test_str_rendering(self):
+        sim, tracer = make()
+        event = tracer.emit("session-failed", session_id=4, reason="gone")
+        s = str(event)
+        assert "session-failed" in s and "reason=gone" in s
+
+    def test_counts_and_len(self):
+        sim, tracer = make()
+        tracer.emit("a")
+        tracer.emit("a")
+        tracer.emit("b")
+        assert len(tracer) == 3
+        assert tracer.counts() == {"a": 2, "b": 1}
+
+
+class TestCapacity:
+    def test_bounded_retention(self):
+        sim, tracer = make()
+        tracer = Tracer.for_simulator(sim, capacity=3)
+        for i in range(10):
+            tracer.emit("e", i=i)
+        assert len(tracer) == 3
+        assert [e.i for e in tracer] == [7, 8, 9]
+        assert tracer.n_emitted == 10
+
+    def test_capacity_validation(self):
+        sim, _ = make()
+        with pytest.raises(ValueError):
+            Tracer.for_simulator(sim, capacity=0)
+
+
+class TestQueries:
+    def test_filter_by_kind_and_time(self):
+        sim, tracer = make()
+        for t, kind in ((1.0, "a"), (2.0, "b"), (3.0, "a")):
+            sim.call_at(t, lambda k=kind: tracer.emit(k))
+        sim.run()
+        assert len(tracer.events("a")) == 2
+        assert len(tracer.events("a", since=2.0)) == 1
+        assert len(tracer.events(until=2.0)) == 2
+
+    def test_last_none_when_empty(self):
+        _, tracer = make()
+        assert tracer.last() is None
+
+    def test_format_limits(self):
+        _, tracer = make()
+        for i in range(100):
+            tracer.emit("e", i=i)
+        out = tracer.format(limit=5)
+        assert out.count("\n") == 4
+
+
+class TestSubscription:
+    def test_kind_subscription(self):
+        _, tracer = make()
+        seen = []
+        tracer.subscribe("hit", seen.append)
+        tracer.emit("hit", n=1)
+        tracer.emit("miss", n=2)
+        assert [e.n for e in seen] == [1]
+
+    def test_wildcard_subscription(self):
+        _, tracer = make()
+        seen = []
+        tracer.subscribe("*", seen.append)
+        tracer.emit("a")
+        tracer.emit("b")
+        assert len(seen) == 2
+
+    def test_unsubscribe(self):
+        _, tracer = make()
+        seen = []
+        unsub = tracer.subscribe("e", seen.append)
+        tracer.emit("e")
+        unsub()
+        tracer.emit("e")
+        assert len(seen) == 1
+        unsub()  # idempotent
+
+
+class TestGridIntegration:
+    def test_traced_run_records_lifecycle(self):
+        from repro.grid import GridConfig, P2PGrid
+
+        grid = P2PGrid(GridConfig(n_peers=200, seed=8, tracing=True))
+        agg = grid.make_aggregator("qsa")
+        for _ in range(5):
+            agg.aggregate(grid.make_request("video-on-demand", duration=1.0))
+        grid.sim.run(until=3.0)
+        counts = grid.tracer.counts()
+        assert counts["request"] == 5
+        assert counts.get("session-admitted", 0) >= 1
+        assert counts.get("session-completed", 0) >= 1
+
+    def test_traced_churn_and_repair(self):
+        from repro.grid import GridConfig, P2PGrid
+        from repro.sessions.recovery import RecoveryConfig
+
+        grid = P2PGrid(GridConfig(
+            n_peers=200, seed=9, tracing=True, recovery=RecoveryConfig(),
+        ))
+        agg = grid.make_aggregator("qsa")
+        res = None
+        for _ in range(10):
+            res = agg.aggregate(
+                grid.make_request("video-on-demand", duration=50.0)
+            )
+            if res.admitted:
+                break
+        assert res.admitted
+        victim = res.peers[0]
+        grid._on_peer_departure(victim)
+        grid.directory.depart(victim, grid.sim.now)
+        counts = grid.tracer.counts()
+        assert counts["peer-departed"] == 1
+        assert counts.get("session-repaired", 0) + counts.get(
+            "session-failed", 0
+        ) >= 1
+
+    def test_tracing_off_by_default(self):
+        from repro.grid import GridConfig, P2PGrid
+
+        grid = P2PGrid(GridConfig(n_peers=200, seed=8))
+        assert grid.tracer is None

@@ -1,0 +1,66 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure5_defaults(self):
+        args = build_parser().parse_args(["figure5"])
+        assert args.command == "figure5"
+        assert 1000 in args.rates
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "--algorithm", "random", "--rate", "50",
+             "--churn", "10", "--seed", "3"]
+        )
+        assert args.algorithm == "random"
+        assert args.rate == 50.0
+        assert args.churn == 10.0
+
+    def test_bad_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "bogus"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "peers" in out
+
+    def test_run_small(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        assert main(["run", "--rate", "10", "--horizon", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "qsa" in out
+        assert "ψ" in out
+
+    def test_run_with_ablation_flag(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        assert main(
+            ["run", "--rate", "10", "--horizon", "2", "--no-uptime-filter"]
+        ) == 0
+
+    def test_figure5_tiny(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        assert main(["figure5", "--rates", "40", "--horizon", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "qsa" in out
+
+    def test_figure8_tiny(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        assert main([
+            "figure8", "--rate", "20", "--churn", "20", "--horizon", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "overall" in out

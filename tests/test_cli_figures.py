@@ -1,0 +1,47 @@
+"""CLI figure commands end-to-end (tiny scale), including --plot."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def small_scale(monkeypatch):
+    monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+
+
+class TestFigureCommands:
+    def test_figure5_with_plot(self, capsys):
+        assert main([
+            "figure5", "--rates", "30", "60", "--horizon", "2", "--plot",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "└" in out          # chart frame
+        assert "* qsa" in out      # legend
+
+    def test_figure6_with_plot(self, capsys):
+        assert main([
+            "figure6", "--rate", "30", "--horizon", "4", "--plot",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "overall" in out
+        assert "time (min)" in out
+
+    def test_figure7_seed_option(self, capsys):
+        assert main([
+            "figure7", "--churn-rates", "0", "--rate", "20",
+            "--horizon", "2", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+
+    def test_figure8_with_plot(self, capsys):
+        assert main([
+            "figure8", "--rate", "20", "--churn", "30",
+            "--horizon", "4", "--plot",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "└" in out

@@ -1,0 +1,151 @@
+"""Integration tests for the P2PGrid facade."""
+
+import numpy as np
+import pytest
+
+from repro.grid import GridConfig, P2PGrid
+from repro.network.churn import ChurnConfig
+from repro.probing.prober import ProbingConfig
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return P2PGrid(GridConfig(n_peers=300, seed=42))
+
+
+class TestConstruction:
+    def test_population(self, grid):
+        assert grid.directory.n_alive == 300
+        assert len(grid.ring) == 300
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GridConfig(n_peers=1)
+        with pytest.raises(ValueError):
+            GridConfig(capacity_range=(0, 10))
+
+    def test_config_applications_used(self):
+        from repro.services.applications import ApplicationTemplate
+
+        apps = (ApplicationTemplate("custom", ("alpha", "beta")),)
+        g = P2PGrid(GridConfig(n_peers=100, seed=1, applications=apps))
+        assert [a.name for a in g.applications] == ["custom"]
+        assert g.catalog.candidates("alpha")
+
+    def test_explicit_applications_override_config(self):
+        from repro.services.applications import ApplicationTemplate
+
+        cfg_apps = (ApplicationTemplate("from-config", ("s1x", "s2x")),)
+        arg_apps = [ApplicationTemplate("from-arg", ("t1x", "t2x"))]
+        g = P2PGrid(
+            GridConfig(n_peers=100, seed=1, applications=cfg_apps),
+            applications=arg_apps,
+        )
+        assert [a.name for a in g.applications] == ["from-arg"]
+
+    def test_unknown_lookup_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            P2PGrid(GridConfig(n_peers=100, lookup_protocol="bogus"))
+
+    def test_capacities_within_range(self, grid):
+        for peer in grid.directory.alive_peers():
+            assert 100.0 <= peer.capacity.values[0] <= 1000.0
+            # Both dimensions share the scale.
+            assert peer.capacity.values[0] == peer.capacity.values[1]
+
+    def test_initial_uptimes_warm(self, grid):
+        ups, _ = grid.directory.uptimes(now=0.0)
+        assert np.all(ups >= 0)
+        assert np.all(ups <= 120.0)
+        assert np.std(ups) > 0  # not all identical
+
+    def test_catalog_registered_in_ring(self, grid):
+        app = grid.applications[0]
+        specs, _ = grid.registry.discover_service(app.services[0], from_peer=0)
+        assert specs
+
+    def test_weights_sum_to_one(self, grid):
+        w = grid.composition_weights
+        assert np.isclose(w.weights.sum() + w.bandwidth_weight, 1.0)
+        p = grid.phi_weights
+        assert np.isclose(p.weights.sum() + p.bandwidth_weight, 1.0)
+
+
+class TestRequests:
+    def test_make_request_defaults(self, grid):
+        r = grid.make_request("video-on-demand")
+        assert r.application == "video-on-demand"
+        assert grid.directory.is_alive(r.peer_id)
+
+    def test_request_ids_increment(self, grid):
+        a = grid.make_request("video-on-demand")
+        b = grid.make_request("video-on-demand")
+        assert b.request_id == a.request_id + 1
+
+
+class TestAggregatorFactory:
+    def test_known_names(self, grid):
+        for name in ("qsa", "random", "fixed"):
+            agg = grid.make_aggregator(name)
+            assert agg.name == name
+
+    def test_unknown_name(self, grid):
+        with pytest.raises(ValueError):
+            grid.make_aggregator("bogus")
+
+    def test_qsa_options(self, grid):
+        agg = grid.make_aggregator("qsa", uptime_filter=False,
+                                   composition_method="dijkstra")
+        assert not agg.selector.uptime_filter
+        assert agg.composition_method == "dijkstra"
+
+
+class TestChurnIntegration:
+    def test_departure_cleans_everything(self):
+        g = P2PGrid(GridConfig(
+            n_peers=100, seed=1, churn=ChurnConfig(rate_per_min=0.0)
+        ))
+        # Note: churn with rate 0 is disabled; drive events manually.
+        from repro.network.churn import ChurnProcess
+        churn = ChurnProcess(
+            g.sim, g.directory, ChurnConfig(rate_per_min=1.0),
+            spawn_peer=g._spawn_peer_churn,
+            on_departure=g._on_peer_departure,
+            rng=np.random.default_rng(0),
+        )
+        pid = churn.depart()
+        assert pid is not None
+        assert not g.directory.is_alive(pid)
+        assert pid not in g.ring
+        assert g.catalog.hosted_instances(pid) == set()
+        for iid in g.catalog.instances:
+            assert pid not in g.catalog.hosts(iid)
+
+    def test_arrival_provisions_everything(self):
+        g = P2PGrid(GridConfig(n_peers=100, seed=1))
+        peer = g._spawn_peer_churn(now=0.0)
+        assert g.directory.is_alive(peer.peer_id)
+        assert peer.peer_id in g.ring
+        hosted = g.catalog.hosted_instances(peer.peer_id)
+        for iid in hosted:
+            hosts, _ = g.registry.discover_hosts(iid, from_peer=0)
+            assert peer.peer_id in hosts
+
+    def test_sessions_fail_on_departure(self):
+        g = P2PGrid(GridConfig(n_peers=100, seed=2))
+        agg = g.make_aggregator("qsa")
+        outcomes = []
+        g.on_session_outcome(outcomes.append)
+        # Admit a long session, then kill one of its peers.
+        res = None
+        for _ in range(10):
+            req = g.make_request("video-on-demand", duration=100.0)
+            res = agg.aggregate(req)
+            if res.admitted:
+                break
+        assert res is not None and res.admitted
+        victim = res.peers[0]
+        g._on_peer_departure(victim)
+        g.directory.depart(victim, g.sim.now)
+        assert len(outcomes) == 1
+        assert outcomes[0].state.value == "failed"

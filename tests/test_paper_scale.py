@@ -1,0 +1,69 @@
+"""Smoke tests at the paper's literal scale (10^4 peers).
+
+These verify the library actually operates at §4.1's population size --
+construction stays sub-second-ish, requests stay at a few milliseconds,
+and the probing budget honors the 1% overhead bound -- without running
+the (long) full-horizon experiments.
+"""
+
+import time
+
+import pytest
+
+from repro.grid import GridConfig, P2PGrid
+from repro.probing.prober import ProbingConfig
+
+
+@pytest.fixture(scope="module")
+def paper_grid():
+    return P2PGrid(GridConfig(
+        n_peers=10_000, seed=0, probing=ProbingConfig(budget=100),
+    ))
+
+
+class TestPaperScale:
+    def test_population_and_ring(self, paper_grid):
+        assert paper_grid.directory.n_alive == 10_000
+        assert len(paper_grid.ring) == 10_000
+
+    def test_catalog_statistics(self, paper_grid):
+        catalog = paper_grid.catalog
+        for service, instances in catalog.by_service.items():
+            assert 10 <= len(instances) <= 20
+        for iid in list(catalog.instances)[:50]:
+            assert 40 <= len(catalog.hosts(iid)) <= 80
+
+    def test_requests_work_and_are_fast(self, paper_grid):
+        agg = paper_grid.make_aggregator("qsa")
+        t0 = time.perf_counter()
+        admitted = 0
+        n = 30
+        for _ in range(n):
+            r = agg.aggregate(
+                paper_grid.make_request("video-on-demand", duration=0.5)
+            )
+            admitted += r.admitted
+            paper_grid.sim.run()
+        per_request = (time.perf_counter() - t0) / n
+        assert admitted >= n * 0.8
+        # Generous bound: an order of magnitude above the measured ~5 ms
+        # so slow CI machines do not flake.
+        assert per_request < 0.1
+
+    def test_probe_overhead_at_one_percent(self, paper_grid):
+        agg = paper_grid.make_aggregator("qsa")
+        for _ in range(20):
+            agg.aggregate(paper_grid.make_request("enhanced-vod",
+                                                  duration=0.5))
+            paper_grid.sim.run()
+        assert paper_grid.probing.overhead_ratio() <= 100 / 10_000 + 1e-9
+
+    def test_chord_hops_logarithmic_at_scale(self, paper_grid):
+        # log2(10^4) ~ 13.3; the greedy walk should stay well under 20.
+        agg = paper_grid.make_aggregator("qsa")
+        res = agg.aggregate(
+            paper_grid.make_request("content-retrieval", duration=0.5)
+        )
+        paper_grid.sim.run()
+        n_lookups = len(res.composed.instances) + 2 if res.composed else 2
+        assert res.lookup_hops / max(n_lookups, 1) < 20
