@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper figures examples coverage clean
+.PHONY: install test test-log bench bench-log bench-paper figures \
+        figures-quick examples coverage clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -30,6 +31,12 @@ figures-quick:
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex =="; $(PYTHON) $$ex || exit 1; done
+
+coverage:
+	@$(PYTHON) -c "import pytest_cov" 2>/dev/null \
+		&& $(PYTHON) -m pytest tests/ --cov=repro --cov-report=term-missing \
+		|| { echo "pytest-cov not installed; running plain test suite"; \
+		     $(PYTHON) -m pytest tests/; }
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache

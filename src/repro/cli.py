@@ -7,6 +7,12 @@ Commands
     table/series (same output as the benches, without pytest).
 ``run``
     One custom experiment: choose algorithm, rate, horizon, churn, seed.
+    ``--telemetry PATH`` records the full telemetry stream and writes it
+    as JSONL.
+``telemetry``
+    Work with the telemetry subsystem: ``catalog`` prints the event and
+    metric catalogs, ``summary PATH`` summarizes an exported JSONL
+    stream.
 ``info``
     Package, configuration-default and scale information.
 
@@ -14,6 +20,8 @@ Examples::
 
     python -m repro figure5 --rates 100 400 1000 --horizon 30
     python -m repro run --algorithm random --rate 200 --churn 50
+    python -m repro run --rate 100 --telemetry events.jsonl
+    python -m repro telemetry summary events.jsonl
     REPRO_PAPER_SCALE=1 python -m repro figure7
 """
 
@@ -81,6 +89,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--no-uptime-filter", action="store_true",
                      help="disable QSA's uptime term (ablation A1)")
+    run.add_argument("--telemetry", metavar="PATH", default=None,
+                     help="record full telemetry and export it as JSONL")
+
+    tel = sub.add_parser("telemetry", help="telemetry catalog and tools")
+    tel_sub = tel.add_subparsers(dest="telemetry_action", required=True)
+    tel_sub.add_parser("catalog", help="print the event/metric catalogs")
+    tel_summary = tel_sub.add_parser(
+        "summary", help="summarize an exported JSONL event stream"
+    )
+    tel_summary.add_argument("path", help="JSONL file from --telemetry")
 
     sub.add_parser("info", help="package and scale information")
     return parser
@@ -158,7 +176,18 @@ def _cmd_run(args) -> int:
     options = {}
     if args.algorithm == "qsa" and args.no_uptime_filter:
         options["uptime_filter"] = False
-    result = run_experiment(config.with_algorithm(args.algorithm, **options))
+    config = config.with_algorithm(args.algorithm, **options)
+    if args.telemetry is not None:
+        # Fail fast on an unwritable path rather than after the run.
+        try:
+            with open(args.telemetry, "w"):
+                pass
+        except OSError as exc:
+            print(f"cannot write telemetry to {args.telemetry}: {exc}",
+                  file=sys.stderr)
+            return 1
+        config = config.with_telemetry(args.telemetry)
+    result = run_experiment(config)
     print(result.summary())
     print(f"mean DHT lookup hops: {result.mean_lookup_hops:.2f}")
     print(f"probing overhead:     {result.probe_overhead:.2%}")
@@ -166,7 +195,62 @@ def _cmd_run(args) -> int:
         print(f"churn events:         {result.n_arrivals} arrivals, "
               f"{result.n_departures} departures")
     print(f"wall clock:           {result.wall_seconds:.1f}s")
+    if args.telemetry is not None:
+        print(f"telemetry:            {result.n_telemetry_events} events "
+              f"-> {args.telemetry}")
+        print()
+        print(result.telemetry_summary)
     return 0
+
+
+def _cmd_telemetry(args) -> int:
+    if args.telemetry_action == "catalog":
+        from repro.telemetry import format_catalog
+
+        print(format_catalog())
+        return 0
+    # summary <path>
+    import json
+
+    counts: dict = {}
+    t_min = t_max = None
+    prev = None
+    monotone = True
+    n = 0
+    try:
+        stream = open(args.path)
+    except OSError as exc:
+        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+        return 1
+    with stream:
+        for lineno, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                print(f"{args.path}: invalid JSON on line {lineno}: {exc}",
+                      file=sys.stderr)
+                return 1
+            n += 1
+            counts[rec["event"]] = counts.get(rec["event"], 0) + 1
+            t = rec["t"]
+            t_min = t if t_min is None else min(t_min, t)
+            t_max = t if t_max is None else max(t_max, t)
+            if prev is not None and t < prev:
+                monotone = False
+            prev = t
+    if n == 0:
+        print(f"{args.path}: empty event stream")
+        return 0
+    print(f"{args.path}: {n} events, "
+          f"t = [{t_min:g}, {t_max:g}] min, "
+          f"timestamps {'monotone' if monotone else 'OUT OF ORDER'}")
+    width = max(len(k) for k in counts)
+    for name in sorted(counts):
+        print(f"  {name:<{width}}  {counts[name]:>8d}")
+    return 0 if monotone else 1
 
 
 def _cmd_info(args) -> int:
@@ -189,6 +273,7 @@ _COMMANDS = {
     "figure7": _cmd_figure7,
     "figure8": _cmd_figure8,
     "run": _cmd_run,
+    "telemetry": _cmd_telemetry,
     "info": _cmd_info,
 }
 

@@ -85,6 +85,16 @@ class BaseAggregator:
     #: Optional :class:`repro.sim.trace.Tracer`; set by the grid factory
     #: when tracing is enabled.
     tracer = None
+    #: Optional :class:`repro.telemetry.bus.EventBus`; set by the grid
+    #: factory.  Always receives one low-volume ``request.setup`` event
+    #: per request -- the feed the metrics layer subscribes to -- whether
+    #: or not full telemetry is enabled (a dispatch-only bus retains
+    #: nothing).
+    bus = None
+    #: Optional :class:`repro.telemetry.Telemetry`; set by the grid
+    #: factory only when telemetry is *enabled* (request spans, QCS
+    #: instrumentation, admission-reject counters).
+    telemetry = None
 
     def __init__(
         self,
@@ -136,11 +146,38 @@ class BaseAggregator:
                 level=result.request.qos_level,
                 status=result.status.value,
             )
+        if self.bus is not None:
+            req = result.request
+            self.bus.emit(
+                "request.setup",
+                request_id=req.request_id,
+                peer=req.peer_id,
+                application=req.application,
+                level=req.qos_level,
+                status=result.status.value,
+                admitted=result.admitted,
+                lookup_hops=result.lookup_hops,
+                random_fallbacks=getattr(self, "_fallbacks", 0),
+                arrival_time=req.arrival_time,
+                duration=req.session_duration,
+            )
         return result
 
     # -- the pipeline ---------------------------------------------------------
     def aggregate(self, request: UserRequest) -> AggregationResult:
         """Run the full setup pipeline for one request."""
+        tel = self.telemetry
+        if tel is None:
+            return self._aggregate(request)
+        with tel.tracer.span(
+            "request",
+            request_id=request.request_id,
+            application=request.application,
+            algorithm=self.name,
+        ):
+            return self._aggregate(request)
+
+    def _aggregate(self, request: UserRequest) -> AggregationResult:
         path, user_qos = self.compiler.compile(request, self.rng)
 
         candidates, hops = self.registry.discover_path_candidates(
@@ -190,6 +227,10 @@ class BaseAggregator:
                 if exc.stage == "resources"
                 else AggregationStatus.BANDWIDTH_DENIED
             )
+            if self.telemetry is not None:
+                self.telemetry.metrics.counter(
+                    "session.admission_rejected"
+                ).inc()
             return self._trace(AggregationResult(
                 request, status, composed=composed, peers=peers, lookup_hops=hops
             ))
@@ -244,6 +285,7 @@ class QSAAggregator(BaseAggregator):
             method=self.composition_method,
             edge_cache=self._edge_cache,
             cost_cache=self._cost_cache,
+            telemetry=self.telemetry,
         )
 
     def select_peers(
@@ -253,11 +295,24 @@ class QSAAggregator(BaseAggregator):
         hosts_selection_order: List[List[int]],
     ) -> Optional[Tuple[int, ...]]:
         """Distributed hop-by-hop selection in reverse flow order (§3.3)."""
+        self._fallbacks = 0
+        self._hop_outcomes = []
+        if self.telemetry is None:
+            return self._select_walk(request, composed, hosts_selection_order)
+        with self.telemetry.tracer.span(
+            "selection", hops=len(composed.instances)
+        ):
+            return self._select_walk(request, composed, hosts_selection_order)
+
+    def _select_walk(
+        self,
+        request: UserRequest,
+        composed: ComposedPath,
+        hosts_selection_order: List[List[int]],
+    ) -> Optional[Tuple[int, ...]]:
         n = len(composed.instances)
         selected_reverse: List[int] = []
         current = request.peer_id
-        self._fallbacks = 0
-        self._hop_outcomes = []
         for i in range(n):
             inst = composed.instances[n - 1 - i]  # i hops from the user
             candidates = hosts_selection_order[i]

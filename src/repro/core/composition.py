@@ -46,6 +46,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.core.qos import QoSVector, satisfies
 from repro.core.resources import ResourceTuple, ResourceVector, WeightProfile
 from repro.services.model import AbstractServicePath, ServiceInstance
+from repro.telemetry.spans import NULL_TRACER
 
 __all__ = [
     "CompositionError",
@@ -296,6 +297,7 @@ def compose_qcs(
     method: str = "dp",
     edge_cache: Optional[Dict[Tuple[str, str], bool]] = None,
     cost_cache: Optional[Dict[str, Tuple[float, ResourceTuple]]] = None,
+    telemetry=None,
 ) -> ComposedPath:
     """Run QCS and return the QoS-consistent, resource-shortest path.
 
@@ -313,6 +315,10 @@ def compose_qcs(
     method:
         ``"dp"`` (default, layered-DAG sweep) or ``"dijkstra"``
         (the paper's formulation).  Both return identical paths.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry`; instruments the
+        graph-build and shortest-path phases at phase granularity only
+        (never inside the edge loops).
 
     Raises
     ------
@@ -320,17 +326,37 @@ def compose_qcs(
         If some service has no candidates or no QoS-consistent path
         exists.
     """
-    graph = ConsistencyGraph(
-        path, candidates, user_qos, weights,
-        edge_cache=edge_cache, cost_cache=cost_cache,
-    )
-    if method == "dp":
-        result = _shortest_dp(graph)
-    elif method == "dijkstra":
-        result = _shortest_dijkstra(graph)
-    else:
-        raise ValueError(f"unknown method {method!r} (use 'dp' or 'dijkstra')")
+    tracer = telemetry.tracer if telemetry is not None else NULL_TRACER
+    with tracer.span("qcs.compose", application=path.application):
+        with tracer.span("qcs.graph_build"):
+            graph = ConsistencyGraph(
+                path, candidates, user_qos, weights,
+                edge_cache=edge_cache, cost_cache=cost_cache,
+            )
+        if telemetry is not None:
+            m = telemetry.metrics
+            m.counter("qcs.compositions").inc()
+            m.counter("qcs.graph_nodes").inc(graph.n_nodes)
+            m.counter("qcs.graph_edges").inc(graph.n_edges)
+        if method == "dp":
+            with tracer.span("qcs.dp"):
+                result = _shortest_dp(graph)
+        elif method == "dijkstra":
+            with tracer.span("qcs.dijkstra"):
+                result = _shortest_dijkstra(graph)
+        else:
+            raise ValueError(
+                f"unknown method {method!r} (use 'dp' or 'dijkstra')"
+            )
     if result is None:
+        if telemetry is not None:
+            telemetry.metrics.counter("qcs.no_path").inc()
+            telemetry.bus.emit(
+                "qcs.failed",
+                application=path.application,
+                n_nodes=graph.n_nodes,
+                n_edges=graph.n_edges,
+            )
         raise CompositionError(
             f"no QoS-consistent service path for application "
             f"{path.application!r} at requirement {user_qos!r}"
@@ -341,6 +367,15 @@ def compose_qcs(
     chosen_reverse = [
         graph.layers[k + 1][indices[k]] for k in range(len(indices))
     ]
+    if telemetry is not None:
+        telemetry.bus.emit(
+            "qcs.composed",
+            application=path.application,
+            n_nodes=graph.n_nodes,
+            n_edges=graph.n_edges,
+            score=score,
+            hops=len(chosen_reverse),
+        )
     return ComposedPath(
         instances=tuple(reversed(chosen_reverse)), total=total, score=score
     )

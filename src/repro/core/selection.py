@@ -260,17 +260,24 @@ class PeerSelector:
         requirements").
     """
 
+    #: Optional :class:`repro.telemetry.Telemetry`; set by the grid when
+    #: telemetry is enabled (selection events + fallback counters).
+    telemetry = None
+
     def __init__(
         self,
         view: PerformanceView,
         weights: PhiWeights,
         uptime_filter: bool = True,
         feasibility_filter: bool = True,
+        telemetry=None,
     ) -> None:
         self.view = view
         self.weights = weights
         self.uptime_filter = uptime_filter
         self.feasibility_filter = feasibility_filter
+        if telemetry is not None:
+            self.telemetry = telemetry
 
     def select_hop(
         self,
@@ -286,6 +293,43 @@ class PeerSelector:
         Implements, in order: the local-knowledge restriction, the uptime
         and feasibility matches, Φ ranking, and the random fallback.
         """
+        tel = self.telemetry
+        if tel is None:
+            return self._select_hop(
+                selecting_peer, candidates, requirement, bandwidth_req,
+                session_duration, rng,
+            )
+        with tel.tracer.span("selection.hop", selecting_peer=selecting_peer):
+            outcome = self._select_hop(
+                selecting_peer, candidates, requirement, bandwidth_req,
+                session_duration, rng,
+            )
+        m = tel.metrics
+        m.counter("selection.steps").inc()
+        if outcome.peer_id is None:
+            m.counter("selection.no_candidate").inc()
+        elif outcome.random_fallback:
+            m.counter("selection.random_fallback").inc()
+        tel.bus.emit(
+            "selection.hop",
+            selecting_peer=selecting_peer,
+            chosen=outcome.peer_id,
+            n_candidates=outcome.n_candidates,
+            n_known=outcome.n_known,
+            fallback=outcome.random_fallback,
+            phi=outcome.phi,
+        )
+        return outcome
+
+    def _select_hop(
+        self,
+        selecting_peer: int,
+        candidates: Sequence[int],
+        requirement: ResourceVector,
+        bandwidth_req: float,
+        session_duration: float,
+        rng: np.random.Generator,
+    ) -> SelectionOutcome:
         n_candidates = len(candidates)
         if n_candidates == 0:
             return SelectionOutcome(None, False, 0, 0)

@@ -113,6 +113,11 @@ def _check_registry(grid: P2PGrid, problems: List[str]) -> None:
         problems.append(f"registry: alive peer {pid} missing from the DHT")
     for pid in members - alive:
         problems.append(f"registry: dead peer {pid} still in the DHT")
+    if not alive:
+        # Churn can empty the population; there is no vantage point to
+        # issue lookups from, so report instead of crashing.
+        problems.append("registry: no alive peer to run record checks from")
+        return
     prefix = grid.registry.INSTANCE_PREFIX
     for iid in catalog.instances:
         record, _ = grid.ring.get(prefix + iid, from_peer=next(iter(alive)))

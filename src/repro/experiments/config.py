@@ -41,12 +41,18 @@ class ExperimentConfig:
     algorithm_options: Dict = field(default_factory=dict)
     #: Extra minutes to run after generation stops so sessions resolve.
     drain_minutes: float = 61.0
+    #: Write the run's telemetry event stream (JSONL) here; setting a
+    #: path forces full telemetry recording on the grid for this run.
+    telemetry_export: Optional[str] = None
 
     def with_algorithm(self, name: str, **options) -> "ExperimentConfig":
         return replace(self, algorithm=name, algorithm_options=dict(options))
 
     def with_seed(self, seed: int) -> "ExperimentConfig":
         return replace(self, grid=replace(self.grid, seed=seed))
+
+    def with_telemetry(self, export_path: str) -> "ExperimentConfig":
+        return replace(self, telemetry_export=export_path)
 
 
 def is_paper_scale() -> bool:

@@ -13,7 +13,7 @@ algorithms for comparison" methodology.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -40,6 +40,9 @@ class ExperimentResult:
     n_arrivals: int
     n_departures: int
     wall_seconds: float
+    #: Set when the config asked for a telemetry export.
+    n_telemetry_events: int = 0
+    telemetry_summary: Optional[str] = None
 
     def series(self, bin_minutes: float = 2.0):
         return self.metrics.time_series(
@@ -58,15 +61,21 @@ class ExperimentResult:
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     """Build the grid, stream the workload, drain, and collect ψ."""
     t0 = time.perf_counter()
-    grid = P2PGrid(config.grid)
+    grid_config = config.grid
+    if config.telemetry_export is not None and not grid_config.telemetry:
+        grid_config = replace(grid_config, telemetry=True)
+    grid = P2PGrid(grid_config)
     aggregator = grid.make_aggregator(
         config.algorithm, **dict(config.algorithm_options)
     )
+    # The collector rides the telemetry bus: the aggregator publishes
+    # request.setup, the grid publishes session.resolved, and the bus
+    # dispatches both even with full telemetry recording off.
     metrics = MetricsCollector()
-    grid.on_session_outcome(metrics.on_session)
+    metrics.attach(grid.telemetry.bus)
 
     def sink(request):
-        metrics.on_setup(aggregator.aggregate(request))
+        aggregator.aggregate(request)
 
     generator = RequestGenerator(
         grid.sim,
@@ -83,6 +92,12 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         grid.churn.stop()
     grid.sim.run()
 
+    n_events = 0
+    telemetry_summary = None
+    if config.telemetry_export is not None:
+        n_events = grid.telemetry.export_jsonl(config.telemetry_export)
+        telemetry_summary = grid.telemetry.summary()
+
     return ExperimentResult(
         config=config,
         algorithm=config.algorithm,
@@ -94,4 +109,6 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         n_arrivals=grid.churn.n_arrivals if grid.churn else 0,
         n_departures=grid.churn.n_departures if grid.churn else 0,
         wall_seconds=time.perf_counter() - t0,
+        n_telemetry_events=n_events,
+        telemetry_summary=telemetry_summary,
     )

@@ -50,6 +50,7 @@ from repro.sessions.session import Session, SessionLedger
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.sim.trace import Tracer
+from repro.telemetry import Telemetry
 
 __all__ = ["GridConfig", "P2PGrid"]
 
@@ -104,6 +105,14 @@ class GridConfig:
     tracing: bool = False
     #: Retain at most this many trace events (None = unbounded).
     trace_capacity: Optional[int] = 100_000
+    #: Full telemetry (``grid.telemetry``): event-bus recording, the
+    #: metrics registry and span tracing across every subsystem.  Off by
+    #: default -- the bus then runs dispatch-only (request/session events
+    #: still reach the metrics layer) and hot paths pay one ``None``
+    #: check, nothing more.
+    telemetry: bool = False
+    #: Retain at most this many bus events (None = unbounded).
+    telemetry_capacity: Optional[int] = None
     #: Root seed for every RNG stream.
     seed: int = 0
 
@@ -176,9 +185,23 @@ class P2PGrid:
             else None
         )
 
+        # -- telemetry ---------------------------------------------------------
+        #: Always present: the bus carries the request/session events the
+        #: metrics layer subscribes to.  Hot-path instrumentation sites
+        #: receive the handle only when enabled (``_tel`` is None
+        #: otherwise), so disabled runs record and measure nothing.
+        self.telemetry = Telemetry.for_simulator(
+            self.sim,
+            enabled=config.telemetry,
+            capacity=config.telemetry_capacity,
+        )
+        _tel = self.telemetry if config.telemetry else None
+        self.ring.telemetry = _tel
+
         # -- probing & sessions ----------------------------------------------
         self.probing = ProbingService(
-            self.sim, self.directory, self.network, config.probing
+            self.sim, self.directory, self.network, config.probing,
+            telemetry=_tel,
         )
         self.session_observers: List[Callable[[Session], None]] = []
         self.ledger = SessionLedger(
@@ -187,6 +210,7 @@ class P2PGrid:
             self.network,
             self._on_session_outcome,
             tracer=self.tracer,
+            telemetry=_tel,
         )
 
         # -- weights (Def. 3.1 normalizers from the translator's envelope) --
@@ -206,11 +230,12 @@ class P2PGrid:
                 self.directory,
                 self.network,
                 self.ledger,
-                PeerSelector(self.probing, self.phi_weights),
+                PeerSelector(self.probing, self.phi_weights, telemetry=_tel),
                 hosts_of=lambda iid: sorted(self.catalog.hosts(iid)),
                 resolve_neighbors=self.probing.resolve_selection_hops,
                 rng=self.rngs.stream("recovery"),
                 config=config.recovery,
+                telemetry=_tel,
             )
 
         # -- churn ----------------------------------------------------------------
@@ -223,6 +248,7 @@ class P2PGrid:
                 spawn_peer=self._spawn_peer_churn,
                 on_departure=self._on_peer_departure,
                 rng=self.rngs.stream("churn"),
+                telemetry=_tel,
             )
             self.churn.start()
 
@@ -267,6 +293,13 @@ class P2PGrid:
 
     # -- sessions ---------------------------------------------------------------
     def _on_session_outcome(self, session: Session) -> None:
+        self.telemetry.bus.emit(
+            "session.resolved",
+            session_id=session.session_id,
+            request_id=session.request_id,
+            state=session.state.value,
+            reason=session.failure_reason,
+        )
         for observer in self.session_observers:
             observer(session)
 
@@ -310,6 +343,12 @@ class P2PGrid:
         rng = self.rngs.stream(f"aggregator-{name}")
         aggregator = self._build_aggregator(name, rng, options)
         aggregator.tracer = self.tracer
+        aggregator.bus = self.telemetry.bus
+        _tel = self.telemetry if self.config.telemetry else None
+        aggregator.telemetry = _tel
+        selector = getattr(aggregator, "selector", None)
+        if selector is not None and _tel is not None:
+            selector.telemetry = _tel
         return aggregator
 
     def _build_aggregator(self, name, rng, options) -> BaseAggregator:

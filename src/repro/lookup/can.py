@@ -148,6 +148,10 @@ class CanNode:
 class CanNetwork:
     """The CAN overlay: membership, storage and greedy routing."""
 
+    #: Optional :class:`repro.telemetry.Telemetry`; set by the grid when
+    #: telemetry is enabled (per-lookup hop events + histograms).
+    telemetry = None
+
     def __init__(self, dimensions: int = 2, seed: int = 0) -> None:
         if not 1 <= dimensions <= 10:
             raise ValueError("CAN dimensionality must be 1..10")
@@ -331,6 +335,14 @@ class CanNetwork:
             hops += 1
         self.n_lookups += 1
         self.total_hops += hops
+        tel = self.telemetry
+        if tel is not None:
+            tel.metrics.counter("lookup.count").inc()
+            tel.metrics.histogram("lookup.hops").observe(hops)
+            tel.bus.emit(
+                "lookup.done",
+                key=key, from_peer=from_peer, hops=hops, protocol="can",
+            )
         return current, hops
 
     def get(self, key: str, from_peer: int) -> Tuple[Any, int]:

@@ -55,6 +55,10 @@ class ChordNode:
 class ChordRing:
     """The ring: membership, responsibility, storage and routing."""
 
+    #: Optional :class:`repro.telemetry.Telemetry`; set by the grid when
+    #: telemetry is enabled (per-lookup hop events + histograms).
+    telemetry = None
+
     def __init__(self, bits: int = 32, seed: int = 0) -> None:
         if not 8 <= bits <= 64:
             raise ValueError("identifier space must be 8..64 bits")
@@ -214,6 +218,14 @@ class ChordRing:
             hops += 1
         self.n_lookups += 1
         self.total_hops += hops
+        tel = self.telemetry
+        if tel is not None:
+            tel.metrics.counter("lookup.count").inc()
+            tel.metrics.histogram("lookup.hops").observe(hops)
+            tel.bus.emit(
+                "lookup.done",
+                key=key, from_peer=from_peer, hops=hops, protocol="chord",
+            )
         return self._nodes[current], hops
 
     def get(self, key: str, from_peer: int) -> Tuple[Any, int]:

@@ -89,6 +89,7 @@ class ChurnProcess:
         spawn_peer: Callable[[float], Peer],
         on_departure: Callable[[int], None],
         rng: np.random.Generator,
+        telemetry=None,
     ) -> None:
         self.sim = sim
         self.directory = directory
@@ -96,6 +97,8 @@ class ChurnProcess:
         self.spawn_peer = spawn_peer
         self.on_departure = on_departure
         self.rng = rng
+        #: Optional :class:`repro.telemetry.Telemetry` (join/leave events).
+        self.telemetry = telemetry
         self.n_arrivals = 0
         self.n_departures = 0
         self._process: Optional[Process] = None
@@ -104,6 +107,9 @@ class ChurnProcess:
     def arrive(self) -> Peer:
         peer = self.spawn_peer(self.sim.now)
         self.n_arrivals += 1
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter("churn.arrivals").inc()
+            self.telemetry.bus.emit("churn.join", peer=peer.peer_id)
         return peer
 
     def pick_departing_peer(self) -> Optional[int]:
@@ -124,6 +130,9 @@ class ChurnProcess:
         pid = self.pick_departing_peer()
         if pid is None:
             return None
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter("churn.departures").inc()
+            self.telemetry.bus.emit("churn.leave", peer=pid)
         self.on_departure(pid)
         self.directory.depart(pid, self.sim.now)
         self.n_departures += 1

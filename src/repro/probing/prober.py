@@ -77,11 +77,15 @@ class ProbingService:
         directory: PeerDirectory,
         network: NetworkModel,
         config: ProbingConfig | None = None,
+        telemetry=None,
     ) -> None:
         self.sim = sim
         self.directory = directory
         self.network = network
         self.config = config or ProbingConfig()
+        #: Optional :class:`repro.telemetry.Telemetry` (probe fan-out and
+        #: budget-usage instrumentation); ``None`` keeps observe() clean.
+        self.telemetry = telemetry
         self._tables: Dict[int, NeighborTable] = {}
         self._snapshots: Dict[int, _Snapshot] = {}
         self.probe_messages = 0
@@ -104,6 +108,11 @@ class ProbingService:
         triples = list(neighbors)
         added = self.table(observer).resolve(triples, self.sim.now, self.config.ttl)
         self.resolution_messages += len(triples)
+        tel = self.telemetry
+        if tel is not None:
+            m = tel.metrics
+            m.counter("probe.resolution_messages").inc(len(triples))
+            m.gauge("probe.tables").set(len(self._tables))
         return added
 
     def resolve_selection_hops(
@@ -152,6 +161,10 @@ class ProbingService:
             )
             self._snapshots[target] = snap
             self.probe_messages += 1
+            tel = self.telemetry
+            if tel is not None:
+                tel.metrics.counter("probe.messages_sent").inc()
+                tel.bus.emit("probe.refresh", target=target, epoch=epoch)
         return snap
 
     def observe(self, observer: int, target: int) -> Optional[PeerInfo]:

@@ -87,6 +87,7 @@ class RecoveryManager:
         resolve_neighbors: Callable[[int, Sequence[Sequence[int]], bool], None],
         rng: np.random.Generator,
         config: RecoveryConfig | None = None,
+        telemetry=None,
     ) -> None:
         self.sim = sim
         self.directory = directory
@@ -97,6 +98,9 @@ class RecoveryManager:
         self.resolve_neighbors = resolve_neighbors
         self.rng = rng
         self.config = config or RecoveryConfig()
+        #: Optional :class:`repro.telemetry.Telemetry`: repair events and
+        #: the departure->repair latency histogram.
+        self.telemetry = telemetry
         self._attempts: dict[int, int] = {}
         self.n_repairs = 0
         self.n_repair_failures = 0
@@ -117,12 +121,14 @@ class RecoveryManager:
                     sid, f"user peer {peer_id} departed", skip_peer=peer_id
                 )
                 continue
+            departed_at = self.sim.now
             if self.config.detection_delay > 0:
                 self.sim.call_in(
-                    self.config.detection_delay, self._attempt, sid, peer_id
+                    self.config.detection_delay,
+                    self._attempt, sid, peer_id, departed_at,
                 )
             else:
-                self._attempt(sid, peer_id)
+                self._attempt(sid, peer_id, departed_at)
 
     # -- internals ---------------------------------------------------------------
     def _active(self, session_id: int) -> Optional[Session]:
@@ -133,13 +139,20 @@ class RecoveryManager:
 
     def _give_up(self, session_id: int, dead_peer: int) -> None:
         self.n_repair_failures += 1
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter("recovery.failed").inc()
+            self.telemetry.bus.emit(
+                "recovery.failed", session_id=session_id, dead_peer=dead_peer
+            )
         self.ledger.fail_session(
             session_id,
             f"peer {dead_peer} departed (unrecovered)",
             skip_peer=dead_peer,
         )
 
-    def _attempt(self, session_id: int, dead_peer: int) -> None:
+    def _attempt(
+        self, session_id: int, dead_peer: int, departed_at: float
+    ) -> None:
         session = self._active(session_id)
         if session is None:  # completed or failed during the window
             return
@@ -167,6 +180,16 @@ class RecoveryManager:
         old_peers = tuple(session.peers)
         self.ledger.reassign_session_peers(session_id, new_peers)
         self.n_repairs += 1
+        if self.telemetry is not None:
+            latency = self.sim.now - departed_at
+            self.telemetry.metrics.counter("recovery.repaired").inc()
+            self.telemetry.metrics.histogram("recovery.latency").observe(latency)
+            self.telemetry.bus.emit(
+                "recovery.repaired",
+                session_id=session_id,
+                dead_peer=dead_peer,
+                latency=latency,
+            )
         if self.ledger.tracer is not None:
             self.ledger.tracer.emit(
                 "session-repaired",

@@ -78,6 +78,7 @@ class SessionLedger:
         network: NetworkModel,
         on_outcome: Optional[Callable[[Session], None]] = None,
         tracer=None,
+        telemetry=None,
     ) -> None:
         self.sim = sim
         self.directory = directory
@@ -85,6 +86,10 @@ class SessionLedger:
         self.on_outcome = on_outcome
         #: Optional :class:`repro.sim.trace.Tracer` for structured events.
         self.tracer = tracer
+        #: Optional :class:`repro.telemetry.Telemetry`: admit/complete/fail
+        #: events + a detached sim-time span per session lifetime.
+        self.telemetry = telemetry
+        self._spans: Dict[int, object] = {}
         self._active: Dict[int, Session] = {}
         self._by_peer: Dict[int, Set[int]] = {}
         self._next_id = 0
@@ -129,6 +134,19 @@ class SessionLedger:
                 request_id=request_id,
                 peers=tuple(peers),
             )
+        tel = self.telemetry
+        if tel is not None:
+            tel.metrics.counter("session.admitted").inc()
+            tel.bus.emit(
+                "session.admitted",
+                session_id=session.session_id,
+                request_id=request_id,
+                peers=list(peers),
+                duration=duration,
+            )
+            self._spans[session.session_id] = tel.tracer.open(
+                "session", session_id=session.session_id
+            )
         return session
 
     # -- lifecycle ---------------------------------------------------------
@@ -162,6 +180,17 @@ class SessionLedger:
                 session_id=session.session_id,
                 request_id=session.request_id,
             )
+        tel = self.telemetry
+        if tel is not None:
+            tel.metrics.counter("session.completed").inc()
+            tel.bus.emit(
+                "session.completed",
+                session_id=session.session_id,
+                request_id=session.request_id,
+            )
+            span = self._spans.pop(session.session_id, None)
+            if span is not None:
+                span.end(outcome="completed")
         if self.on_outcome is not None:
             self.on_outcome(session)
 
@@ -189,6 +218,18 @@ class SessionLedger:
                 request_id=session.request_id,
                 reason=reason,
             )
+        tel = self.telemetry
+        if tel is not None:
+            tel.metrics.counter("session.failed").inc()
+            tel.bus.emit(
+                "session.failed",
+                session_id=session.session_id,
+                request_id=session.request_id,
+                reason=reason,
+            )
+            span = self._spans.pop(session.session_id, None)
+            if span is not None:
+                span.end(outcome="failed")
         if self.on_outcome is not None:
             self.on_outcome(session)
         return session

@@ -1,0 +1,36 @@
+"""Runtime observability for the QSA stack.
+
+Three cooperating pieces (see ``docs/architecture.md`` §Telemetry):
+
+* :mod:`repro.telemetry.bus` -- the structured event bus, stamped with
+  the simulator clock;
+* :mod:`repro.telemetry.metrics` -- the counter/gauge/histogram
+  registry;
+* :mod:`repro.telemetry.spans` -- sim-time span tracing.
+
+:class:`repro.telemetry.facade.Telemetry` bundles them; the catalog of
+every emitted name lives in :mod:`repro.telemetry.catalog`.
+"""
+
+from repro.telemetry.bus import BusEvent, EventBus
+from repro.telemetry.catalog import EVENT_CATALOG, METRIC_CATALOG, format_catalog
+from repro.telemetry.facade import Telemetry
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.spans import NULL_TRACER, Span, SpanTracer, render_span_tree
+
+__all__ = [
+    "BusEvent",
+    "EventBus",
+    "Telemetry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanTracer",
+    "NULL_TRACER",
+    "render_span_tree",
+    "EVENT_CATALOG",
+    "METRIC_CATALOG",
+    "format_catalog",
+]

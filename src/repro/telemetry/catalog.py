@@ -1,0 +1,112 @@
+"""The event and metric catalog: every name the instrumentation emits.
+
+Kept as data (not prose) so the CLI (``repro telemetry catalog``), the
+docs and the tests all read the same source of truth.  When adding an
+instrumentation site, register its names here -- the telemetry tests
+assert that a traced run emits no unknown event names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["EVENT_CATALOG", "METRIC_CATALOG", "format_catalog"]
+
+#: event name -> (fields, description)
+EVENT_CATALOG: Dict[str, tuple] = {
+    "request.setup": (
+        "request_id, peer, application, level, status, admitted, "
+        "lookup_hops, random_fallbacks, arrival_time, duration",
+        "setup pipeline finished for one user request (any outcome)",
+    ),
+    "session.resolved": (
+        "session_id, request_id, state, reason",
+        "an admitted session completed or failed (metrics-layer feed)",
+    ),
+    "qcs.composed": (
+        "application, n_nodes, n_edges, score, hops",
+        "QCS found a QoS-consistent shortest path",
+    ),
+    "qcs.failed": (
+        "application, n_nodes, n_edges",
+        "consistency graph has no path to the source layer",
+    ),
+    "selection.hop": (
+        "selecting_peer, chosen, n_candidates, n_known, fallback, phi",
+        "one hop of the Φ/uptime peer-selection walk",
+    ),
+    "probe.refresh": (
+        "target, epoch",
+        "a probing epoch snapshot was taken (one probe message)",
+    ),
+    "lookup.done": (
+        "key, from_peer, hops, protocol",
+        "one routed DHT lookup resolved",
+    ),
+    "session.admitted": (
+        "session_id, request_id, peers, duration",
+        "atomic admission reserved every resource/connection",
+    ),
+    "session.completed": (
+        "session_id, request_id",
+        "session ran to its scheduled end",
+    ),
+    "session.failed": (
+        "session_id, request_id, reason",
+        "session torn down before its end",
+    ),
+    "recovery.repaired": (
+        "session_id, dead_peer, latency",
+        "runtime failure recovery replaced the departed peer",
+    ),
+    "recovery.failed": (
+        "session_id, dead_peer",
+        "repair attempt gave up; session failed",
+    ),
+    "churn.join": ("peer", "a peer arrived (topological variation)"),
+    "churn.leave": ("peer", "a peer departed (topological variation)"),
+    "span": (
+        "name, id, parent, start [, site fields]",
+        "a traced interval closed (see repro.telemetry.spans)",
+    ),
+}
+
+#: metric name -> (kind, description)
+METRIC_CATALOG: Dict[str, tuple] = {
+    "qcs.compositions": ("counter", "QCS runs attempted"),
+    "qcs.graph_edges": ("counter", "consistency edges built, cumulative"),
+    "qcs.graph_nodes": ("counter", "consistency nodes built, cumulative"),
+    "qcs.no_path": ("counter", "compositions with no consistent path"),
+    "selection.steps": ("counter", "peer-selection hops executed"),
+    "selection.random_fallback": ("counter", "hops that fell back to random"),
+    "selection.no_candidate": ("counter", "hops where no peer qualified"),
+    "probe.messages_sent": ("counter", "probe messages (epoch snapshots)"),
+    "probe.resolution_messages": ("counter", "neighbor-resolution messages"),
+    "probe.tables": ("gauge", "neighbor tables currently materialized"),
+    "lookup.count": ("counter", "routed DHT lookups"),
+    "lookup.hops": ("histogram", "application-level hops per lookup"),
+    "session.admitted": ("counter", "sessions admitted"),
+    "session.completed": ("counter", "sessions completed"),
+    "session.failed": ("counter", "sessions failed"),
+    "session.admission_rejected": ("counter", "admissions denied (rolled back)"),
+    "recovery.repaired": ("counter", "sessions repaired after a departure"),
+    "recovery.failed": ("counter", "repair attempts that gave up"),
+    "recovery.latency": ("histogram", "departure -> repair, sim minutes"),
+    "churn.arrivals": ("counter", "peers that joined"),
+    "churn.departures": ("counter", "peers that left"),
+}
+
+
+def format_catalog() -> str:
+    """Both catalogs as one aligned text table (the CLI's output)."""
+    lines = ["events"]
+    width = max(len(n) for n in EVENT_CATALOG)
+    for name, (fields, desc) in EVENT_CATALOG.items():
+        lines.append(f"  {name:<{width}}  {desc}")
+        lines.append(f"  {'':<{width}}    fields: {fields}")
+    lines.append("")
+    lines.append("metrics")
+    width = max(len(n) for n in METRIC_CATALOG)
+    for name, (kind, desc) in METRIC_CATALOG.items():
+        lines.append(f"  {name:<{width}}  [{kind}] {desc}")
+    return "\n".join(lines)

@@ -1,0 +1,196 @@
+"""The metrics registry: counters, gauges and histograms by dotted name.
+
+Instruments are created lazily on first use and shared by name::
+
+    registry.counter("probe.messages_sent").inc()
+    registry.gauge("probe.tables").set(len(tables))
+    registry.histogram("lookup.hops").observe(hops)
+
+Every instrument is deterministic state (no wall-clock, no sampling), so
+a seeded run always reproduces the same registry -- the same property the
+event stream has.  ``MetricsRegistry.summary_table()`` renders the whole
+registry as the text table the CLI prints after a telemetry run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Counter {self.name}={self.value:g}>"
+
+
+class Gauge:
+    """A value that goes up and down (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Gauge {self.name}={self.value:g}>"
+
+
+class Histogram:
+    """Streaming distribution summary: count/sum/min/max plus a reservoir.
+
+    The reservoir keeps the first ``reservoir_cap`` observations exactly
+    (enough for percentiles in every experiment this repo runs); beyond
+    that only the running aggregates update.  Everything is filled in
+    arrival order, so seeded runs reproduce the reservoir bit-for-bit.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_values", "_cap")
+
+    def __init__(self, name: str, reservoir_cap: int = 10_000) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._values: List[float] = []
+        self._cap = reservoir_cap
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self._values) < self._cap:
+            self._values.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the reservoir (``q`` in [0, 100])."""
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        rank = min(len(ordered) - 1, max(0, round(q / 100 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Histogram {self.name} n={self.count} mean={self.mean:.3g}>"
+        )
+
+
+class MetricsRegistry:
+    """Lazily created, name-addressed instruments."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- access (creates on first use) ------------------------------------
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name)
+        return inst
+
+    # -- inspection -----------------------------------------------------------
+    @property
+    def empty(self) -> bool:
+        return not (self._counters or self._gauges or self._histograms)
+
+    def counters(self) -> Dict[str, float]:
+        return {n: c.value for n, c in sorted(self._counters.items())}
+
+    def gauges(self) -> Dict[str, float]:
+        return {n: g.value for n, g in sorted(self._gauges.items())}
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(sorted(self._histograms.items()))
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """A plain-data dump (used by tests and the CLI)."""
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "histograms": {
+                n: {
+                    "count": h.count,
+                    "mean": h.mean,
+                    "min": h.min,
+                    "max": h.max,
+                    "p50": h.percentile(50),
+                    "p95": h.percentile(95),
+                }
+                for n, h in self._histograms.items()
+            },
+        }
+
+    # -- rendering ---------------------------------------------------------
+    def summary_table(self) -> str:
+        """The registry as aligned text sections (counters first)."""
+        lines: List[str] = []
+        if self._counters:
+            lines.append("counters")
+            width = max(len(n) for n in self._counters)
+            for name, value in self.counters().items():
+                lines.append(f"  {name:<{width}}  {value:>12g}")
+        if self._gauges:
+            lines.append("gauges")
+            width = max(len(n) for n in self._gauges)
+            for name, value in self.gauges().items():
+                lines.append(f"  {name:<{width}}  {value:>12g}")
+        if self._histograms:
+            lines.append(
+                "histograms"
+                "                 count       mean        min        max        p95"
+            )
+            width = max(len(n) for n in self._histograms)
+            for name, h in self.histograms().items():
+                lines.append(
+                    f"  {name:<{width}}  {h.count:>8d} {h.mean:>10.3f} "
+                    f"{(h.min or 0):>10.3f} {(h.max or 0):>10.3f} "
+                    f"{h.percentile(95):>10.3f}"
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"

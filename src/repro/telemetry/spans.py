@@ -1,0 +1,236 @@
+"""Span tracing in simulated time.
+
+A *span* is a named interval with a parent, so nested spans render as a
+trace tree::
+
+    with tracer.span("request", request_id=7):
+        with tracer.span("qcs.compose"):
+            with tracer.span("qcs.graph_build"):
+                ...
+            with tracer.span("qcs.dp"):
+                ...
+
+Two flavours:
+
+* :meth:`SpanTracer.span` -- a context manager for synchronous phases.
+  Parentage follows the with-nesting (an explicit stack, no thread
+  locals: the simulator is single-threaded by construction).
+* :meth:`SpanTracer.open` -- a detached span for intervals that outlive
+  the opening call, e.g. a session's admit -> completion lifetime.  The
+  caller keeps the handle and calls :meth:`Span.end`.
+
+Every span closes by emitting one ``span`` event on the bus carrying
+``(name, id, parent, start)``; the event's own timestamp is the end, so
+the exported stream stays monotone and byte-deterministic.  Wall-clock
+durations are *also* accumulated per span name -- but only in-process,
+for the optimization summary; wall time never enters the event stream
+(it would break seeded reproducibility).
+
+``NULL_TRACER`` is the disabled-mode stand-in: ``span()`` hands back one
+shared no-op context manager, so instrumented code needs no branches and
+pays ~a method call when telemetry is off.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry.bus import BusEvent, EventBus
+
+__all__ = ["Span", "SpanTracer", "NullTracer", "NULL_TRACER", "render_span_tree"]
+
+
+class Span:
+    """One open interval; close with :meth:`end` (or via ``with``)."""
+
+    __slots__ = (
+        "tracer", "name", "span_id", "parent_id", "sim_start",
+        "fields", "_wall_start", "_nested", "_closed",
+    )
+
+    def __init__(
+        self,
+        tracer: "SpanTracer",
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        sim_start: float,
+        fields: Dict[str, Any],
+        nested: bool,
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.sim_start = sim_start
+        self.fields = fields
+        self._wall_start = time.perf_counter()
+        self._nested = nested
+        self._closed = False
+
+    def end(self, **extra: Any) -> None:
+        """Close the span: pop the stack (if nested) and emit the event."""
+        if self._closed:
+            return
+        self._closed = True
+        self.tracer._close(self, extra)
+
+    # -- context-manager protocol ------------------------------------------
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.end()
+        else:
+            self.end(error=exc_type.__name__)
+
+
+class SpanTracer:
+    """Creates spans, tracks nesting, and emits ``span`` events."""
+
+    def __init__(self, bus: EventBus, clock: Callable[[], float]) -> None:
+        self._bus = bus
+        self._clock = clock
+        self._stack: List[int] = []
+        self._next_id = 0
+        #: per-name wall-clock aggregates: name -> [count, total_seconds].
+        self._wall: Dict[str, List[float]] = {}
+
+    def _new(self, name: str, nested: bool, fields: Dict[str, Any]) -> Span:
+        span = Span(
+            self,
+            name,
+            span_id=self._next_id,
+            parent_id=self._stack[-1] if self._stack else None,
+            sim_start=self._clock(),
+            fields=fields,
+            nested=nested,
+        )
+        self._next_id += 1
+        if nested:
+            self._stack.append(span.span_id)
+        return span
+
+    def span(self, name: str, **fields: Any) -> Span:
+        """A stack-nested span for a synchronous phase (use ``with``)."""
+        return self._new(name, nested=True, fields=fields)
+
+    def open(self, name: str, **fields: Any) -> Span:
+        """A detached span whose interval outlives the opening call."""
+        return self._new(name, nested=False, fields=fields)
+
+    def _close(self, span: Span, extra: Dict[str, Any]) -> None:
+        if span._nested:
+            # Tolerate out-of-order closes (an exception unwinding through
+            # several spans) by popping down to this span.
+            while self._stack and self._stack[-1] != span.span_id:
+                self._stack.pop()
+            if self._stack:
+                self._stack.pop()
+        agg = self._wall.get(span.name)
+        if agg is None:
+            agg = self._wall[span.name] = [0, 0.0]
+        agg[0] += 1
+        agg[1] += time.perf_counter() - span._wall_start
+        self._bus.emit(
+            "span",
+            name=span.name,
+            id=span.span_id,
+            parent=span.parent_id,
+            start=span.sim_start,
+            **span.fields,
+            **extra,
+        )
+
+    # -- wall-clock summary (in-process only; never exported) ----------------
+    def wall_totals(self) -> Dict[str, Tuple[int, float]]:
+        """``name -> (count, total wall seconds)`` for closed spans."""
+        return {n: (int(c), t) for n, (c, t) in sorted(self._wall.items())}
+
+    def wall_table(self) -> str:
+        if not self._wall:
+            return "(no spans recorded)"
+        width = max(len(n) for n in self._wall)
+        lines = [f"{'span':<{width}}     count   total ms    mean µs"]
+        for name, (count, total) in self.wall_totals().items():
+            mean_us = (total / count) * 1e6 if count else 0.0
+            lines.append(
+                f"{name:<{width}}  {count:>8d} {total * 1e3:>10.2f} "
+                f"{mean_us:>10.1f}"
+            )
+        return "\n".join(lines)
+
+
+class NullTracer:
+    """Disabled-mode tracer: every ``span()`` is one shared no-op."""
+
+    __slots__ = ()
+
+    class _NullSpan:
+        __slots__ = ()
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, exc_type, exc, tb):
+            return None
+
+        def end(self, **extra: Any) -> None:
+            return None
+
+    _SPAN = _NullSpan()
+
+    def span(self, name: str, **fields: Any) -> "_NullSpan":
+        return self._SPAN
+
+    def open(self, name: str, **fields: Any) -> "_NullSpan":
+        return self._SPAN
+
+    def wall_totals(self) -> Dict[str, Tuple[int, float]]:
+        return {}
+
+    def wall_table(self) -> str:
+        return "(tracing disabled)"
+
+
+NULL_TRACER = NullTracer()
+
+
+def render_span_tree(events: Sequence[BusEvent], limit: int = 200) -> str:
+    """Render ``span`` events (from a bus or a parsed JSONL) as a tree.
+
+    Children are indented under their parent; each line shows the span's
+    simulated interval.  ``limit`` caps the output for huge traces.
+    """
+    spans = [e for e in events if e.name == "span"]
+    if not spans:
+        return "(no spans)"
+    children: Dict[Optional[int], List[BusEvent]] = {}
+    for e in spans:
+        children.setdefault(e.fields.get("parent"), []).append(e)
+
+    lines: List[str] = []
+
+    def walk(parent: Optional[int], depth: int) -> None:
+        for e in children.get(parent, ()):
+            if len(lines) >= limit:
+                return
+            f = e.fields
+            extras = " ".join(
+                f"{k}={v}"
+                for k, v in f.items()
+                if k not in ("name", "id", "parent", "start")
+            )
+            lines.append(
+                f"{'  ' * depth}{f['name']} "
+                f"[{f['start']:.3f} -> {e.time:.3f} min]"
+                + (f" {extras}" if extras else "")
+            )
+            walk(f["id"], depth + 1)
+
+    walk(None, 0)
+    if len(lines) >= limit:
+        lines.append(f"... ({len(spans)} spans total)")
+    return "\n".join(lines)

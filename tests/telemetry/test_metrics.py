@@ -1,0 +1,88 @@
+"""Unit tests for the metrics registry instruments."""
+
+import pytest
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("x")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 13.0
+
+
+class TestHistogram:
+    def test_aggregates(self):
+        h = Histogram("x")
+        for v in (1, 5, 3):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 9.0
+        assert h.mean == 3.0
+        assert (h.min, h.max) == (1.0, 5.0)
+
+    def test_percentiles(self):
+        h = Histogram("x")
+        for v in range(101):
+            h.observe(v)
+        assert h.percentile(0) == 0
+        assert h.percentile(50) == 50
+        assert h.percentile(100) == 100
+
+    def test_empty_percentile(self):
+        assert Histogram("x").percentile(95) == 0.0
+
+    def test_reservoir_cap_keeps_aggregates_exact(self):
+        h = Histogram("x", reservoir_cap=10)
+        for v in range(100):
+            h.observe(v)
+        assert h.count == 100
+        assert h.max == 99.0
+        assert len(h._values) == 10
+
+
+class TestRegistry:
+    def test_lazy_creation_shares_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.empty
+        reg.counter("a").inc()
+        reg.counter("a").inc()
+        assert reg.counters() == {"a": 2.0}
+        assert not reg.empty
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(7)
+        reg.histogram("h").observe(4)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 1.0}
+        assert snap["gauges"] == {"g": 7.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_summary_table_lists_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("qcs.compositions").inc(3)
+        reg.gauge("probe.tables").set(42)
+        reg.histogram("lookup.hops").observe(5)
+        table = reg.summary_table()
+        for fragment in ("qcs.compositions", "probe.tables", "lookup.hops"):
+            assert fragment in table
+
+    def test_summary_table_empty(self):
+        assert MetricsRegistry().summary_table() == "(no metrics recorded)"

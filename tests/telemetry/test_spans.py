@@ -1,0 +1,134 @@
+"""Unit tests for sim-time span tracing."""
+
+import pytest
+
+from repro.telemetry.bus import EventBus
+from repro.telemetry.spans import NULL_TRACER, SpanTracer, render_span_tree
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def bus(clock):
+    return EventBus(clock)
+
+
+@pytest.fixture
+def tracer(bus, clock):
+    return SpanTracer(bus, clock)
+
+
+def span_events(bus):
+    return bus.events("span")
+
+
+class TestNesting:
+    def test_parentage_follows_with_nesting(self, tracer, bus):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = span_events(bus)  # inner closes (emits) first
+        assert inner.fields["name"] == "inner"
+        assert inner.fields["parent"] == outer.fields["id"]
+        assert outer.fields["parent"] is None
+
+    def test_siblings_share_parent(self, tracer, bus):
+        with tracer.span("outer"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, outer = span_events(bus)
+        assert a.fields["parent"] == outer.fields["id"]
+        assert b.fields["parent"] == outer.fields["id"]
+
+    def test_interval_is_sim_time(self, tracer, bus, clock):
+        clock.now = 3.0
+        span = tracer.span("work")
+        with span:
+            clock.now = 7.5
+        (event,) = span_events(bus)
+        assert event.fields["start"] == 3.0
+        assert event.time == 7.5
+
+    def test_exception_records_error_field(self, tracer, bus):
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        (event,) = span_events(bus)
+        assert event.fields["error"] == "RuntimeError"
+
+    def test_double_end_is_idempotent(self, tracer, bus):
+        span = tracer.span("once")
+        span.end()
+        span.end()
+        assert len(span_events(bus)) == 1
+
+
+class TestDetachedSpans:
+    def test_open_does_not_nest(self, tracer, bus, clock):
+        handle = tracer.open("session", session_id=9)
+        with tracer.span("unrelated"):
+            pass
+        clock.now = 10.0
+        handle.end(outcome="completed")
+        unrelated, session = span_events(bus)
+        assert unrelated.fields["parent"] is None  # open() left the stack alone
+        assert session.fields["outcome"] == "completed"
+        assert session.fields["session_id"] == 9
+        assert session.time == 10.0
+
+
+class TestWallAggregates:
+    def test_totals_accumulate_per_name(self, tracer):
+        with tracer.span("a"):
+            pass
+        with tracer.span("a"):
+            pass
+        totals = tracer.wall_totals()
+        count, seconds = totals["a"]
+        assert count == 2
+        assert seconds >= 0.0
+        assert "a" in tracer.wall_table()
+
+    def test_wall_time_never_enters_the_event_stream(self, tracer, bus):
+        with tracer.span("a"):
+            pass
+        (event,) = span_events(bus)
+        assert set(event.fields) == {"name", "id", "parent", "start"}
+
+
+class TestNullTracer:
+    def test_noop_span_protocol(self):
+        with NULL_TRACER.span("anything", x=1) as s:
+            s.end()
+        NULL_TRACER.open("detached").end(outcome="x")
+        assert NULL_TRACER.wall_totals() == {}
+
+    def test_shared_instance(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+
+class TestRenderTree:
+    def test_tree_indents_children(self, tracer, bus):
+        with tracer.span("request", request_id=1):
+            with tracer.span("qcs.compose"):
+                pass
+        text = render_span_tree(bus.events())
+        lines = text.splitlines()
+        assert lines[0].startswith("request")
+        assert lines[1].startswith("  qcs.compose")
+
+    def test_empty(self, bus):
+        assert render_span_tree(bus.events()) == "(no spans)"

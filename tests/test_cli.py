@@ -28,6 +28,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--algorithm", "bogus"])
 
+    def test_run_telemetry_flag(self):
+        args = build_parser().parse_args(
+            ["run", "--telemetry", "out.jsonl"]
+        )
+        assert args.telemetry == "out.jsonl"
+
+    def test_telemetry_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["telemetry"])
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -64,3 +74,35 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Figure 8" in out
         assert "overall" in out
+
+    def test_run_with_telemetry_export(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        path = tmp_path / "events.jsonl"
+        assert main([
+            "run", "--rate", "10", "--horizon", "2",
+            "--telemetry", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+        assert "counters" in out
+        assert path.exists()
+
+    def test_telemetry_catalog(self, capsys):
+        assert main(["telemetry", "catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "request.setup" in out
+        assert "lookup.hops" in out
+
+    def test_telemetry_summary(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        path = tmp_path / "events.jsonl"
+        main(["run", "--rate", "10", "--horizon", "2",
+              "--telemetry", str(path)])
+        capsys.readouterr()
+        assert main(["telemetry", "summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "monotone" in out
+        assert "request.setup" in out
+
+    def test_telemetry_summary_missing_file(self, capsys, tmp_path):
+        assert main(["telemetry", "summary", str(tmp_path / "nope")]) == 1

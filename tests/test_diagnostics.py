@@ -109,3 +109,15 @@ class TestDetectsCorruption:
         grid.directory.depart(res.peers[0], grid.sim.now)
         problems = check_grid_invariants(grid, registry=False)
         assert any("active on dead peer" in p for p in problems)
+
+
+class TestEmptyPopulation:
+    def test_registry_check_survives_zero_alive_peers(self):
+        # Regression: next(iter(alive)) used to raise StopIteration when
+        # every peer had departed; the checker must report, not crash.
+        grid = P2PGrid(GridConfig(n_peers=10, seed=11))
+        for pid in list(grid.directory.alive_ids):
+            grid._on_peer_departure(pid)
+            grid.directory.depart(pid, grid.sim.now)
+        problems = check_grid_invariants(grid)
+        assert any("no alive peer" in p for p in problems)
