@@ -30,6 +30,7 @@ def pytest_collection_modifyitems(config, items):
         "bench_lookup_substrate": 12,
         "bench_recovery": 13,
         "bench_sensitivity": 14,
+        "bench_fault_tolerance": 15,
     }
     items.sort(key=lambda it: order.get(it.module.__name__.split(".")[-1], 99))
 

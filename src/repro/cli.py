@@ -8,7 +8,9 @@ Commands
 ``run``
     One custom experiment: choose algorithm, rate, horizon, churn, seed.
     ``--telemetry PATH`` records the full telemetry stream and writes it
-    as JSONL.
+    as JSONL.  ``--faults PLAN.json`` runs under a fault-injection plan
+    (see :mod:`repro.faults.plan` for the format) and prints the
+    injection summary.
 ``telemetry``
     Work with the telemetry subsystem: ``catalog`` prints the event and
     metric catalogs, ``summary PATH`` summarizes an exported JSONL
@@ -21,6 +23,7 @@ Examples::
     python -m repro figure5 --rates 100 400 1000 --horizon 30
     python -m repro run --algorithm random --rate 200 --churn 50
     python -m repro run --rate 100 --telemetry events.jsonl
+    python -m repro run --rate 100 --faults plan.json
     python -m repro telemetry summary events.jsonl
     REPRO_PAPER_SCALE=1 python -m repro figure7
 """
@@ -91,6 +94,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="disable QSA's uptime term (ablation A1)")
     run.add_argument("--telemetry", metavar="PATH", default=None,
                      help="record full telemetry and export it as JSONL")
+    run.add_argument("--faults", metavar="PLAN.json", default=None,
+                     help="inject faults from a JSON fault plan")
 
     tel = sub.add_parser("telemetry", help="telemetry catalog and tools")
     tel_sub = tel.add_subparsers(dest="telemetry_action", required=True)
@@ -177,6 +182,21 @@ def _cmd_run(args) -> int:
     if args.algorithm == "qsa" and args.no_uptime_filter:
         options["uptime_filter"] = False
     config = config.with_algorithm(args.algorithm, **options)
+    if args.faults is not None:
+        from repro.faults.plan import FaultPlan
+
+        try:
+            plan = FaultPlan.load(args.faults)
+        except OSError as exc:
+            print(f"cannot read fault plan {args.faults}: {exc}",
+                  file=sys.stderr)
+            return 1
+        except ValueError as exc:
+            print(f"invalid fault plan {args.faults}: {exc}",
+                  file=sys.stderr)
+            return 1
+        config = config.with_faults(plan)
+        print(f"fault plan: {plan}")
     if args.telemetry is not None:
         # Fail fast on an unwritable path rather than after the run.
         try:
@@ -195,6 +215,9 @@ def _cmd_run(args) -> int:
         print(f"churn events:         {result.n_arrivals} arrivals, "
               f"{result.n_departures} departures")
     print(f"wall clock:           {result.wall_seconds:.1f}s")
+    if result.fault_summary is not None:
+        print()
+        print(result.fault_summary)
     if args.telemetry is not None:
         print(f"telemetry:            {result.n_telemetry_events} events "
               f"-> {args.telemetry}")

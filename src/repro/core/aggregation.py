@@ -54,6 +54,9 @@ class AggregationStatus(enum.Enum):
     SELECTION_FAILED = "selection-failed"
     RESOURCES_DENIED = "resources-denied"
     BANDWIDTH_DENIED = "bandwidth-denied"
+    #: An injected transient failure outlived its retry budget (fault
+    #: injection only; never produced on a fault-free run).
+    TRANSIENT_DENIED = "transient-denied"
 
 
 @dataclass
@@ -222,11 +225,10 @@ class BaseAggregator:
                 duration=request.session_duration,
             )
         except AdmissionError as exc:
-            status = (
-                AggregationStatus.RESOURCES_DENIED
-                if exc.stage == "resources"
-                else AggregationStatus.BANDWIDTH_DENIED
-            )
+            status = {
+                "resources": AggregationStatus.RESOURCES_DENIED,
+                "bandwidth": AggregationStatus.BANDWIDTH_DENIED,
+            }.get(exc.stage, AggregationStatus.TRANSIENT_DENIED)
             if self.telemetry is not None:
                 self.telemetry.metrics.counter(
                     "session.admission_rejected"

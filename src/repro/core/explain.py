@@ -41,6 +41,9 @@ _STATUS_NOTES = {
     AggregationStatus.BANDWIDTH_DENIED:
         "a connection could not fit the required bandwidth at admission "
         "time",
+    AggregationStatus.TRANSIENT_DENIED:
+        "an injected transient admission failure outlived its retry "
+        "budget (fault injection only)",
 }
 
 

@@ -54,6 +54,10 @@ class ExperimentConfig:
     def with_telemetry(self, export_path: str) -> "ExperimentConfig":
         return replace(self, telemetry_export=export_path)
 
+    def with_faults(self, plan) -> "ExperimentConfig":
+        """The same run under a :class:`~repro.faults.FaultPlan`."""
+        return replace(self, grid=replace(self.grid, faults=plan))
+
 
 def is_paper_scale() -> bool:
     return os.environ.get("REPRO_PAPER_SCALE", "").strip() not in ("", "0")

@@ -43,6 +43,11 @@ class ExperimentResult:
     #: Set when the config asked for a telemetry export.
     n_telemetry_events: int = 0
     telemetry_summary: Optional[str] = None
+    #: Fault-injection tallies (zero / None without an active plan).
+    n_faults_injected: int = 0
+    n_retries: int = 0
+    n_retries_exhausted: int = 0
+    fault_summary: Optional[str] = None
 
     def series(self, bin_minutes: float = 2.0):
         return self.metrics.time_series(
@@ -98,6 +103,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         n_events = grid.telemetry.export_jsonl(config.telemetry_export)
         telemetry_summary = grid.telemetry.summary()
 
+    injector = grid.injector
     return ExperimentResult(
         config=config,
         algorithm=config.algorithm,
@@ -111,4 +117,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         wall_seconds=time.perf_counter() - t0,
         n_telemetry_events=n_events,
         telemetry_summary=telemetry_summary,
+        n_faults_injected=injector.n_injected if injector else 0,
+        n_retries=injector.n_retries if injector else 0,
+        n_retries_exhausted=injector.n_exhausted if injector else 0,
+        fault_summary=injector.summary() if injector else None,
     )

@@ -1,0 +1,26 @@
+"""Deterministic fault injection for the P2P substrate.
+
+The paper's evaluation assumes a polite network: probes, DHT lookups and
+reservations always succeed instantly, and the only fault is a clean
+whole-peer departure.  This package makes the substrate misbehave on
+purpose -- message loss and delay, lookup failures, lingering soft
+state, transient reservation failures and regional partitions -- under a
+seeded, declarative :class:`FaultPlan`, so the model's robustness claims
+can be measured instead of asserted.
+
+* :mod:`repro.faults.plan` -- the declarative plan (JSON round-trip).
+* :mod:`repro.faults.backoff` -- the shared retry/backoff policy.
+* :mod:`repro.faults.injector` -- per-operation fault decisions.
+"""
+
+from repro.faults.backoff import RetryPolicy
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+]

@@ -29,6 +29,9 @@ from repro.core.aggregation import BaseAggregator, QSAAggregator
 from repro.core.baselines import FixedAggregator, RandomAggregator
 from repro.core.resources import ResourceVector, WeightProfile
 from repro.core.selection import PhiWeights
+from repro.faults.backoff import RetryPolicy
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.lookup.can import CanNetwork
 from repro.lookup.chord import ChordRing
 from repro.lookup.registry import ServiceRegistry
@@ -113,6 +116,13 @@ class GridConfig:
     telemetry: bool = False
     #: Retain at most this many bus events (None = unbounded).
     telemetry_capacity: Optional[int] = None
+    #: Fault injection plan; ``None`` (or an empty plan) keeps every
+    #: substrate operation reliable and the fast paths fault-check-free.
+    faults: Optional[FaultPlan] = None
+    #: Retry budget + backoff for faulted DHT lookups.
+    lookup_retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Retry budget + backoff for transient admission failures.
+    admission_retry: RetryPolicy = field(default_factory=RetryPolicy)
     #: Root seed for every RNG stream.
     seed: int = 0
 
@@ -198,10 +208,25 @@ class P2PGrid:
         _tel = self.telemetry if config.telemetry else None
         self.ring.telemetry = _tel
 
+        # -- fault injection ---------------------------------------------------
+        #: One injector per run when a non-empty plan is configured; every
+        #: hardened subsystem shares it (and its dedicated RNG stream), so
+        #: the same (seed, plan) pair replays the same faults.
+        self.injector: Optional[FaultInjector] = None
+        if config.faults is not None and config.faults.active:
+            self.injector = FaultInjector(
+                self.sim,
+                config.faults,
+                self.rngs.stream("faults"),
+                telemetry=_tel,
+            )
+            self.registry.configure_faults(self.injector, config.lookup_retry)
+
         # -- probing & sessions ----------------------------------------------
         self.probing = ProbingService(
             self.sim, self.directory, self.network, config.probing,
             telemetry=_tel,
+            injector=self.injector,
         )
         self.session_observers: List[Callable[[Session], None]] = []
         self.ledger = SessionLedger(
@@ -211,6 +236,8 @@ class P2PGrid:
             self._on_session_outcome,
             tracer=self.tracer,
             telemetry=_tel,
+            injector=self.injector,
+            admission_retry=config.admission_retry,
         )
 
         # -- weights (Def. 3.1 normalizers from the translator's envelope) --
@@ -236,6 +263,7 @@ class P2PGrid:
                 rng=self.rngs.stream("recovery"),
                 config=config.recovery,
                 telemetry=_tel,
+                injector=self.injector,
             )
 
         # -- churn ----------------------------------------------------------------
@@ -282,6 +310,10 @@ class P2PGrid:
         """Departure: fail/repair sessions, clean replicas/registry/probing."""
         if self.tracer is not None:
             self.tracer.emit("peer-departed", peer=peer_id)
+        if self.injector is not None:
+            # stale_state faults: the departed peer's soft state may
+            # linger in observers' tables (decided before cleanup runs).
+            self.injector.note_departure(peer_id)
         if self.recovery is not None:
             self.recovery.on_peer_departure(peer_id)
         else:

@@ -80,6 +80,7 @@ class FloodingOverlay:
         has_record: Callable[[int], bool],
         ttl: int,
         stop_at: int | None = None,
+        drop: Callable[[int, int], bool] | None = None,
     ) -> FloodResult:
         """BFS flood from ``start``; every forwarded edge costs a message.
 
@@ -87,6 +88,10 @@ class FloodingOverlay:
         ``stop_at`` optionally ends the flood once that many providers
         have been found (pure Gnutella floods to full TTL regardless; the
         early-stop variant models response-bounded querying).
+        ``drop(src, dst)`` optionally loses individual query copies in
+        flight (fault injection): a dropped copy is still a sent message,
+        but the receiver never processes it -- it may still be reached
+        through another edge.
         """
         if start not in self.adj:
             raise KeyError(f"peer {start} not in overlay")
@@ -109,6 +114,8 @@ class FloodingOverlay:
                     messages += 1  # each forwarded copy is a message
                     if nb in visited:
                         continue
+                    if drop is not None and drop(node, nb):
+                        continue  # copy lost; nb stays reachable elsewhere
                     visited.add(nb)
                     if has_record(nb):
                         found.append(nb)

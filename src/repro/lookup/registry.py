@@ -15,6 +15,16 @@ churn by the ring's key handoff):
 Host sets change under churn; :meth:`ServiceRegistry.peer_departed` and
 :meth:`ServiceRegistry.peer_joined` keep them in sync with the catalog's
 ground truth while exercising real DHT update paths.
+
+Fault tolerance
+---------------
+With a :class:`~repro.faults.injector.FaultInjector` attached
+(:meth:`ServiceRegistry.configure_faults`), each routed query may fail
+in flight.  The registry retries with capped exponential backoff,
+re-routing around the hop that dropped the previous copy (retry with
+exclusion -- each copy's fate is an independent draw, and each retry
+re-pays the routing hops).  Budget exhaustion degrades to "no record
+found", which the composition layer already treats as NO_CANDIDATES.
 """
 
 from __future__ import annotations
@@ -36,6 +46,7 @@ class DhtProtocol(Protocol):
 
     def put(self, key: str, value: Any) -> None: ...
     def get(self, key: str, from_peer: int) -> Tuple[Any, int]: ...
+    def lookup(self, key: str, from_peer: int) -> Tuple[Any, int]: ...
     def update(self, key: str, fn) -> Any: ...
     def join(self, peer_id: int): ...
     def leave(self, peer_id: int) -> None: ...
@@ -53,7 +64,14 @@ class ServiceRegistry:
         self.catalog = catalog
         self.n_discoveries = 0
         self.discovery_hops = 0
+        self.injector = None
+        self.retry = None
         self._populate()
+
+    def configure_faults(self, injector, retry) -> None:
+        """Attach a fault injector + :class:`~repro.faults.RetryPolicy`."""
+        self.injector = injector
+        self.retry = retry
 
     def _populate(self) -> None:
         for service, instances in self.catalog.by_service.items():
@@ -62,11 +80,32 @@ class ServiceRegistry:
             self.ring.put(self.INSTANCE_PREFIX + iid, frozenset(hosts))
 
     # -- discovery (routed; costs hops) -----------------------------------
+    def _routed_get(self, key: str, from_peer: int) -> Tuple[Any, int]:
+        """One routed read, retrying around in-flight query drops."""
+        inj = self.injector
+        if inj is None:
+            return self.ring.get(key, from_peer)
+        retry = self.retry
+        total_hops = 0
+        attempts = 0
+        while True:
+            node, hops = self.ring.lookup(key, from_peer)
+            total_hops += hops
+            if not inj.lookup_fails(key, from_peer, node.peer_id):
+                return node.store.get(key), total_hops
+            attempts += 1
+            if attempts > retry.max_retries:
+                inj.retry_exhausted("lookup", attempts=attempts, key=key)
+                return None, total_hops
+            inj.retry_attempt(
+                "lookup", attempts, retry.delay(attempts, inj.rng), key=key
+            )
+
     def discover_service(
         self, service: str, from_peer: int
     ) -> Tuple[Tuple[ServiceInstance, ...], int]:
         """All candidate instances of ``service``: ``(specs, hops)``."""
-        value, hops = self.ring.get(self.SERVICE_PREFIX + service, from_peer)
+        value, hops = self._routed_get(self.SERVICE_PREFIX + service, from_peer)
         self.n_discoveries += 1
         self.discovery_hops += hops
         return (value or ()), hops
@@ -75,7 +114,9 @@ class ServiceRegistry:
         self, instance_id: str, from_peer: int
     ) -> Tuple[FrozenSet[int], int]:
         """Peers hosting ``instance_id``: ``(host set, hops)``."""
-        value, hops = self.ring.get(self.INSTANCE_PREFIX + instance_id, from_peer)
+        value, hops = self._routed_get(
+            self.INSTANCE_PREFIX + instance_id, from_peer
+        )
         self.n_discoveries += 1
         self.discovery_hops += hops
         return (value or frozenset()), hops

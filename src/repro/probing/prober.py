@@ -20,20 +20,35 @@ Semantics
 
 Overhead accounting
 -------------------
-``probe_messages`` counts one message per (target, epoch) snapshot and
-``resolution_messages`` counts neighbor-resolution notifications, so the
-benches can verify the paper's "probing overhead within M/N = 1%" claim.
+``probe_messages`` counts one message per probe attempt (including
+fault-triggered retries) and ``resolution_messages`` counts
+neighbor-resolution notifications, so the benches can verify the
+paper's "probing overhead within M/N = 1%" claim.
+
+Fault tolerance
+---------------
+With a :class:`~repro.faults.injector.FaultInjector` attached, probe
+messages may be lost or delayed.  An attempt whose injected delay
+exceeds ``ProbingConfig.timeout`` counts as lost; lost attempts retry
+with the capped exponential backoff of ``ProbingConfig.retry``.  When
+the retry budget runs dry the prober degrades instead of failing: it
+keeps serving the previous epoch's snapshot (marked stale) or, with no
+snapshot to fall back on, reports the target as unknown -- which sends
+the selector down its plain random-fallback path.  The backoff delays
+are virtual (the setup exchange is synchronous); they are recorded on
+``retry.attempt`` telemetry events rather than the sim clock.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.resources import ResourceVector
 from repro.core.selection import PeerInfo
+from repro.faults.backoff import RetryPolicy
 from repro.network.peer import PeerDirectory
 from repro.network.topology import NetworkModel
 from repro.probing.neighbors import NeighborTable
@@ -52,12 +67,23 @@ class ProbingConfig:
     period: float = 1.0
     #: Soft-state TTL for neighbor entries, minutes.
     ttl: float = 10.0
+    #: A probe attempt slower than this (minutes) counts as lost.
+    timeout: float = 0.25
+    #: Retry budget + backoff for lost/timed-out probes (only exercised
+    #: when a fault injector is attached).
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         if self.period <= 0:
             raise ValueError("probe period must be positive")
         if self.ttl <= 0:
             raise ValueError("neighbor TTL must be positive")
+        if self.timeout <= 0:
+            raise ValueError("probe timeout must be positive")
+
+
+#: Sentinel: the probe failed this epoch but the peer is not known dead.
+_LOST = object()
 
 
 @dataclass
@@ -66,6 +92,8 @@ class _Snapshot:
     availability: np.ndarray
     avail_up: float
     uptime: float
+    #: True when the refresh failed and these are a prior epoch's values.
+    stale: bool = False
 
 
 class ProbingService:
@@ -78,6 +106,7 @@ class ProbingService:
         network: NetworkModel,
         config: ProbingConfig | None = None,
         telemetry=None,
+        injector=None,
     ) -> None:
         self.sim = sim
         self.directory = directory
@@ -86,6 +115,9 @@ class ProbingService:
         #: Optional :class:`repro.telemetry.Telemetry` (probe fan-out and
         #: budget-usage instrumentation); ``None`` keeps observe() clean.
         self.telemetry = telemetry
+        #: Optional :class:`repro.faults.injector.FaultInjector`; ``None``
+        #: keeps the probe fast path loss-free and allocation-identical.
+        self.injector = injector
         self._tables: Dict[int, NeighborTable] = {}
         self._snapshots: Dict[int, _Snapshot] = {}
         self.probe_messages = 0
@@ -141,31 +173,81 @@ class ProbingService:
     def drop_peer(self, peer_id: int) -> None:
         """Forget a departed peer everywhere (lazy tables stay lazy)."""
         self._tables.pop(peer_id, None)
-        self._snapshots.pop(peer_id, None)
-        # Entries pointing *to* the departed peer are pruned lazily on
-        # observe() (the peer is gone; observers discover that on probe).
+        inj = self.injector
+        if inj is None or not inj.ghost_active(peer_id):
+            self._snapshots.pop(peer_id, None)
+        # A ghost-active peer keeps its last snapshot: the stale_state
+        # fault makes observers serve it until the lingering soft state
+        # expires.  Entries pointing *to* the departed peer are pruned
+        # lazily on observe() (observers discover the death on probe).
 
     # -- the PerformanceView protocol -------------------------------------
-    def _snapshot(self, target: int) -> Optional[_Snapshot]:
+    def _record_probe(self) -> None:
+        self.probe_messages += 1
+        tel = self.telemetry
+        if tel is not None:
+            tel.metrics.counter("probe.messages_sent").inc()
+
+    def _take_snapshot(self, peer, target: int, epoch: int) -> _Snapshot:
+        snap = _Snapshot(
+            epoch=epoch,
+            availability=peer.available.values.copy(),
+            avail_up=peer.avail_up,
+            uptime=peer.uptime(self.sim.now),
+        )
+        self._snapshots[target] = snap
+        tel = self.telemetry
+        if tel is not None:
+            tel.bus.emit("probe.refresh", target=target, epoch=epoch)
+        return snap
+
+    def _snapshot(self, target: int):
+        """The current-epoch snapshot of ``target``.
+
+        Returns ``None`` when the peer is dead, the sentinel ``_LOST``
+        when the probe failed this epoch but the peer may still be
+        alive, or a (possibly stale) :class:`_Snapshot` otherwise.
+        """
         peer = self.directory.get(target)
         if peer is None or not peer.alive:
             return None
         epoch = int(self.sim.now / self.config.period)
         snap = self._snapshots.get(target)
-        if snap is None or snap.epoch != epoch:
-            snap = _Snapshot(
-                epoch=epoch,
-                availability=peer.available.values.copy(),
-                avail_up=peer.avail_up,
-                uptime=peer.uptime(self.sim.now),
+        if snap is not None and snap.epoch == epoch:
+            return snap
+        inj = self.injector
+        if inj is None:
+            self._record_probe()
+            return self._take_snapshot(peer, target, epoch)
+        return self._probe_with_faults(peer, target, epoch, snap, inj)
+
+    def _probe_with_faults(self, peer, target, epoch, prev, inj):
+        """One refresh under fault injection: timeout, retry, degrade."""
+        retry = self.config.retry
+        attempts = 0
+        while True:
+            self._record_probe()
+            lost = inj.probe_lost(target)
+            if not lost:
+                delay = inj.probe_delay(target)
+                if delay <= self.config.timeout:
+                    return self._take_snapshot(peer, target, epoch)
+                # The reply missed the timeout window: count as a loss.
+            attempts += 1
+            if attempts > retry.max_retries:
+                inj.retry_exhausted("probe", attempts=attempts, target=target)
+                if prev is not None:
+                    # Degrade to the previous epoch's values; marking the
+                    # current epoch avoids re-burning the budget on every
+                    # observe() within it.
+                    prev.epoch = epoch
+                    prev.stale = True
+                    return prev
+                return _LOST
+            inj.retry_attempt(
+                "probe", attempts, retry.delay(attempts, inj.rng),
+                target=target,
             )
-            self._snapshots[target] = snap
-            self.probe_messages += 1
-            tel = self.telemetry
-            if tel is not None:
-                tel.metrics.counter("probe.messages_sent").inc()
-                tel.bus.emit("probe.refresh", target=target, epoch=epoch)
-        return snap
 
     def observe(self, observer: int, target: int) -> Optional[PeerInfo]:
         """The observer's (stale, bounded) view of target; None if unknown."""
@@ -175,9 +257,22 @@ class ProbingService:
         entry = tbl.get(target, self.sim.now)
         if entry is None:
             return None
+        inj = self.injector
+        if inj is not None and inj.partitioned(observer, target):
+            # The probe cannot cross the cut; the entry stays (soft
+            # state survives a partition, unlike a discovered death).
+            inj.inject("partition", "probe", observer=observer, target=target)
+            return None
         snap = self._snapshot(target)
+        if snap is _LOST:
+            return None  # probe failed; keep the entry, report unknown
+        if snap is None and inj is not None and inj.ghost_active(target):
+            # stale_state fault: the departure has not propagated yet, so
+            # the observer still trusts the last snapshot it holds.
+            snap = self._snapshots.get(target)
         if snap is None:
             tbl.drop(target)  # probe discovered the departure
+            self._snapshots.pop(target, None)
             return None
         observer_peer = self.directory.get(observer)
         observer_down = (

@@ -11,18 +11,33 @@ rolling back every prior reservation on the first shortage so a rejected
 request leaves no residue.  The rollback discipline is what keeps the
 grid's books balanced across hundreds of thousands of simulated requests
 (property-tested in ``tests/sessions/test_conservation.py``).
+
+Fault tolerance
+---------------
+With a :class:`~repro.faults.injector.FaultInjector`, individual
+reservation messages may transiently fail (``admission_failure``) and
+connections crossing an active partition fail deterministically.  Each
+transient failure rolls back the whole attempt (the all-or-nothing
+discipline is not relaxed under faults) and retries with capped
+exponential backoff; budget exhaustion surfaces as a
+:class:`TransientAdmissionError`, which callers treat as a rejection.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.resources import ResourceVector
 from repro.network.peer import PeerDirectory
 from repro.network.topology import NetworkModel
 from repro.services.model import ServiceInstance
 
-__all__ = ["AdmissionError", "reserve_session", "rollback_session"]
+__all__ = [
+    "AdmissionError",
+    "TransientAdmissionError",
+    "reserve_session",
+    "rollback_session",
+]
 
 
 class AdmissionError(Exception):
@@ -30,8 +45,16 @@ class AdmissionError(Exception):
 
     def __init__(self, message: str, stage: str) -> None:
         super().__init__(message)
-        #: ``"resources"`` or ``"bandwidth"`` -- which ledger ran short.
+        #: ``"resources"``, ``"bandwidth"`` or ``"transient"`` -- which
+        #: ledger ran short (or whether the failure was injected).
         self.stage = stage
+
+
+class TransientAdmissionError(AdmissionError):
+    """An injected transient failure (retriable, unlike a shortage)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, stage="transient")
 
 
 def _edges(
@@ -55,6 +78,8 @@ def reserve_session(
     instances: Sequence[ServiceInstance],
     peers: Sequence[int],
     user_peer: int,
+    injector=None,
+    retry=None,
 ) -> None:
     """Reserve all resources for a session; raise and roll back on failure.
 
@@ -63,12 +88,47 @@ def reserve_session(
     AdmissionError
         If any peer cannot fit its instance's ``R`` (stage
         ``"resources"``) or any connection cannot fit its ``b`` (stage
-        ``"bandwidth"``).  No reservations remain held afterwards.
+        ``"bandwidth"``).  With an ``injector``, a transient failure
+        that survives the ``retry`` budget raises
+        :class:`TransientAdmissionError` (stage ``"transient"``).  No
+        reservations remain held afterwards in any case.
     """
     if len(instances) != len(peers):
         raise ValueError(
             f"{len(instances)} instances but {len(peers)} peers selected"
         )
+    if injector is None:
+        _reserve_attempt(directory, network, instances, peers, user_peer)
+        return
+    attempts = 0
+    while True:
+        try:
+            _reserve_attempt(
+                directory, network, instances, peers, user_peer, injector
+            )
+            return
+        except TransientAdmissionError:
+            attempts += 1
+            if retry is None or attempts > retry.max_retries:
+                injector.retry_exhausted(
+                    "admission", attempts=attempts, user_peer=user_peer
+                )
+                raise
+            injector.retry_attempt(
+                "admission", attempts, retry.delay(attempts, injector.rng),
+                user_peer=user_peer,
+            )
+
+
+def _reserve_attempt(
+    directory: PeerDirectory,
+    network: NetworkModel,
+    instances: Sequence[ServiceInstance],
+    peers: Sequence[int],
+    user_peer: int,
+    injector=None,
+) -> None:
+    """One all-or-nothing reservation pass (rolled back on any failure)."""
     held_res: List[Tuple[int, ResourceVector]] = []
     held_bw: List[Tuple[int, int, float]] = []
     try:
@@ -77,6 +137,12 @@ def reserve_session(
             if peer is None or not peer.alive:
                 raise AdmissionError(
                     f"peer {pid} is not alive", stage="resources"
+                )
+            if injector is not None and injector.admission_fails(
+                "admission", peer=pid, instance=inst.instance_id
+            ):
+                raise TransientAdmissionError(
+                    f"reservation message to peer {pid} lost"
                 )
             if not peer.reserve(inst.resources):
                 raise AdmissionError(
@@ -87,6 +153,11 @@ def reserve_session(
                 )
             held_res.append((pid, inst.resources))
         for src, dst, bw in _edges(peers, user_peer, instances):
+            if injector is not None and injector.partitioned(src, dst):
+                injector.inject("partition", "admission", src=src, dst=dst)
+                raise TransientAdmissionError(
+                    f"connection {src} -> {dst} crosses a partition"
+                )
             if not network.reserve(src, dst, bw):
                 raise AdmissionError(
                     f"no {bw:.0f} bps available on {src} -> {dst}",

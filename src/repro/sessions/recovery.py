@@ -23,18 +23,30 @@ If re-selection or re-admission fails, the attempt budget is exhausted,
 the user's own host left, or a second participant died in the detection
 window, the session fails exactly as without recovery.
 
+Fault tolerance
+---------------
+With a :class:`~repro.faults.injector.FaultInjector`, individual repair
+reservations may transiently fail.  Unlike the synchronous setup path,
+recovery is event driven, so transient failures reschedule the repair at
+a *real* simulated backoff delay (``RecoveryConfig.retry``); transient
+retries do not consume the ``max_attempts`` repair budget.  A genuine
+shortage, or a drained transient budget, falls through to the plain
+failure path -- make-before-break guarantees nothing was double-released
+along the way.
+
 ``benchmarks/bench_recovery.py`` reruns the Fig. 7 churn sweep with
 recovery enabled and reports the improvement.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.selection import PeerSelector
+from repro.faults.backoff import RetryPolicy
 from repro.network.peer import PeerDirectory
 from repro.network.topology import NetworkModel
 from repro.sessions.session import Session, SessionLedger
@@ -55,11 +67,16 @@ class RecoveryConfig:
         Minutes between departure and repair attempt.
     max_attempts:
         How many repairs one session may consume over its lifetime.
+    retry:
+        Backoff for *transient* reservation failures during a repair
+        (fault injection only); these retries reschedule on the sim
+        clock and do not consume ``max_attempts``.
     """
 
     enabled: bool = True
     detection_delay: float = 0.0
     max_attempts: int = 3
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         if self.detection_delay < 0:
@@ -88,6 +105,7 @@ class RecoveryManager:
         rng: np.random.Generator,
         config: RecoveryConfig | None = None,
         telemetry=None,
+        injector=None,
     ) -> None:
         self.sim = sim
         self.directory = directory
@@ -101,7 +119,11 @@ class RecoveryManager:
         #: Optional :class:`repro.telemetry.Telemetry`: repair events and
         #: the departure->repair latency histogram.
         self.telemetry = telemetry
+        #: Optional fault injection (transient repair failures).
+        self.injector = injector
         self._attempts: dict[int, int] = {}
+        #: session id -> transient retries consumed for the current repair.
+        self._transient: dict[int, int] = {}
         self.n_repairs = 0
         self.n_repair_failures = 0
 
@@ -138,6 +160,7 @@ class RecoveryManager:
         return None
 
     def _give_up(self, session_id: int, dead_peer: int) -> None:
+        self._transient.pop(session_id, None)
         self.n_repair_failures += 1
         if self.telemetry is not None:
             self.telemetry.metrics.counter("recovery.failed").inc()
@@ -172,11 +195,35 @@ class RecoveryManager:
         self._attempts[session_id] = attempts + 1
 
         new_peers = self._select_replacements(session, dead_peer)
-        if new_peers is None or not self._swap_reservations(
-            session, dead_peer, new_peers
-        ):
+        swap = (
+            "shortage" if new_peers is None
+            else self._swap_reservations(session, dead_peer, new_peers)
+        )
+        if swap == "transient":
+            # An injected hiccup, not a shortage: back off on the sim
+            # clock and retry without consuming the repair budget.
+            self._attempts[session_id] = attempts
+            n = self._transient.get(session_id, 0) + 1
+            inj = self.injector
+            retry = self.config.retry
+            if n > retry.max_retries:
+                inj.retry_exhausted(
+                    "recovery", attempts=n, session_id=session_id
+                )
+                self._give_up(session_id, dead_peer)
+                return
+            self._transient[session_id] = n
+            delay = retry.delay(n, inj.rng)
+            inj.retry_attempt(
+                "recovery", n, delay, session_id=session_id
+            )
+            self.sim.call_in(delay, self._attempt, session_id, dead_peer,
+                             departed_at)
+            return
+        if swap != "ok":
             self._give_up(session_id, dead_peer)
             return
+        self._transient.pop(session_id, None)
         old_peers = tuple(session.peers)
         self.ledger.reassign_session_peers(session_id, new_peers)
         self.n_repairs += 1
@@ -237,13 +284,16 @@ class RecoveryManager:
         session: Session,
         dead_peer: int,
         new_peers: Tuple[int, ...],
-    ) -> bool:
+    ) -> str:
         """Make-before-break: acquire the repaired holds, then drop the
-        stale ones.  On failure everything acquired here is rolled back
-        and the session's original holds are untouched."""
+        stale ones.  Returns ``"ok"``, ``"shortage"`` (a ledger genuinely
+        ran short) or ``"transient"`` (an injected hiccup worth a
+        backoff-retry).  On any failure everything acquired here is
+        rolled back and the session's original holds are untouched."""
         instances = session.instances
         old_peers = session.peers
         n = len(old_peers)
+        inj = self.injector
 
         def edges(peers):
             out = []
@@ -259,29 +309,45 @@ class RecoveryManager:
 
         # 1. Acquire end-system resources on the replacement peers.
         acquired_res: List[Tuple[int, int]] = []  # (slot, peer)
+
+        def undo_res() -> None:
+            for s, pid in acquired_res:
+                self.directory[pid].release(instances[s].resources)
+
         for slot in range(n):
             if old_peers[slot] != dead_peer:
                 continue
+            if inj is not None and inj.admission_fails(
+                "recovery", peer=new_peers[slot], session_id=session.session_id
+            ):
+                undo_res()
+                return "transient"
             peer = self.directory.get(new_peers[slot])
             if peer is None or not peer.reserve(instances[slot].resources):
-                for s, pid in acquired_res:
-                    self.directory[pid].release(instances[s].resources)
-                return False
+                undo_res()
+                return "shortage"
             acquired_res.append((slot, new_peers[slot]))
 
         # 2. Acquire the changed connections.
         acquired_bw: List[Tuple[int, int, float]] = []
+
+        def undo_all() -> None:
+            for s, t, b in acquired_bw:
+                self.network.release(s, t, b)
+            undo_res()
+
         for _old, (src, dst, bw) in changed:
+            if inj is not None and inj.partitioned(src, dst):
+                inj.inject("partition", "recovery", src=src, dst=dst)
+                undo_all()
+                return "transient"
             if not self.network.reserve(src, dst, bw):
-                for s, t, b in acquired_bw:
-                    self.network.release(s, t, b)
-                for s, pid in acquired_res:
-                    self.directory[pid].release(instances[s].resources)
-                return False
+                undo_all()
+                return "shortage"
             acquired_bw.append((src, dst, bw))
 
         # 3. Break: drop the stale connections (the dead peer's own
         # end-system share died with it -- nothing to release there).
         for (src, dst, bw), _new in changed:
             self.network.release(src, dst, bw)
-        return True
+        return "ok"

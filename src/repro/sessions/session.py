@@ -79,6 +79,8 @@ class SessionLedger:
         on_outcome: Optional[Callable[[Session], None]] = None,
         tracer=None,
         telemetry=None,
+        injector=None,
+        admission_retry=None,
     ) -> None:
         self.sim = sim
         self.directory = directory
@@ -89,6 +91,10 @@ class SessionLedger:
         #: Optional :class:`repro.telemetry.Telemetry`: admit/complete/fail
         #: events + a detached sim-time span per session lifetime.
         self.telemetry = telemetry
+        #: Optional fault injection: transient admission failures retry
+        #: under ``admission_retry`` before surfacing as a rejection.
+        self.injector = injector
+        self.admission_retry = admission_retry
         self._spans: Dict[int, object] = {}
         self._active: Dict[int, Session] = {}
         self._by_peer: Dict[int, Set[int]] = {}
@@ -111,7 +117,10 @@ class SessionLedger:
         On success the session holds all its reservations and its
         completion is scheduled ``duration`` minutes out.
         """
-        reserve_session(self.directory, self.network, instances, peers, user_peer)
+        reserve_session(
+            self.directory, self.network, instances, peers, user_peer,
+            injector=self.injector, retry=self.admission_retry,
+        )
         session = Session(
             session_id=self._next_id,
             request_id=request_id,

@@ -65,6 +65,18 @@ EVENT_CATALOG: Dict[str, tuple] = {
     ),
     "churn.join": ("peer", "a peer arrived (topological variation)"),
     "churn.leave": ("peer", "a peer departed (topological variation)"),
+    "fault.injected": (
+        "kind, site [, kind-specific fields]",
+        "the fault injector made one operation misbehave",
+    ),
+    "retry.attempt": (
+        "site, attempt, delay [, site fields]",
+        "a hardened consumer retried after an injected failure",
+    ),
+    "retry.exhausted": (
+        "site, attempts [, site fields]",
+        "a retry budget ran dry; the plain failure path follows",
+    ),
     "span": (
         "name, id, parent, start [, site fields]",
         "a traced interval closed (see repro.telemetry.spans)",
@@ -94,6 +106,9 @@ METRIC_CATALOG: Dict[str, tuple] = {
     "recovery.latency": ("histogram", "departure -> repair, sim minutes"),
     "churn.arrivals": ("counter", "peers that joined"),
     "churn.departures": ("counter", "peers that left"),
+    "fault.injected": ("counter", "faults injected by the active plan"),
+    "retry.attempts": ("counter", "backoff retries across hardened sites"),
+    "retry.exhausted": ("counter", "retry budgets that ran dry"),
 }
 
 

@@ -1,0 +1,21 @@
+"""Shared test configuration: Hypothesis profiles.
+
+The ``chaos`` profile raises the randomized-example budget for the
+fault-injection property suites; the CI chaos job selects it with
+``HYPOTHESIS_PROFILE=chaos``.  Tests that scale with the profile read
+:data:`CHAOS_EXAMPLES` instead of hard-coding a count.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("default", settings(deadline=None))
+settings.register_profile(
+    "chaos", settings(deadline=None, max_examples=200)
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+
+#: Example budget for the randomized fault-plan suites: enough to be
+#: meaningful on a laptop run, 200+ under the CI chaos profile.
+CHAOS_EXAMPLES = settings().max_examples if settings().max_examples >= 200 else 25

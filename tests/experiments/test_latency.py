@@ -123,11 +123,30 @@ class TestLatencyAccounting:
         )
         assert path_latency_ms(r, grid.network) == pytest.approx(manual)
 
-    def test_path_latency_requires_session(self, admitted):
-        grid, results = admitted
+    @pytest.fixture(scope="class")
+    def overloaded(self):
+        """A grid too small for its workload: rejections guaranteed.
+
+        Tiny capacities and many concurrent long high-QoS sessions
+        exhaust the end systems, so some requests must come back without
+        a session -- the path the admitted fixture cannot reach.
+        """
+        grid = P2PGrid(GridConfig(
+            n_peers=20, seed=17, capacity_range=(60.0, 80.0)
+        ))
+        agg = grid.make_aggregator("qsa")
+        results = [
+            agg.aggregate(grid.make_request(
+                "video-on-demand", qos_level="high", duration=500.0
+            ))
+            for _ in range(60)
+        ]
+        return grid, results
+
+    def test_path_latency_requires_session(self, overloaded):
+        grid, results = overloaded
         failed = [r for r in results if r.session is None]
-        if not failed:
-            pytest.skip("every request admitted")
+        assert failed, "the overloaded grid must reject some requests"
         with pytest.raises(ValueError):
             path_latency_ms(failed[0], grid.network)
 

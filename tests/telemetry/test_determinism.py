@@ -9,17 +9,19 @@ in-process aggregates and must never reach the stream.
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
+from repro.faults import FaultPlan, FaultSpec
 from repro.grid import GridConfig
 from repro.network.churn import ChurnConfig
 from repro.workload.generator import WorkloadConfig
 
 
-def config(seed=0, export=None):
+def config(seed=0, export=None, faults=None):
     return ExperimentConfig(
         grid=GridConfig(
             n_peers=150,
             seed=seed,
             churn=ChurnConfig(rate_per_min=4.0),
+            faults=faults,
         ),
         workload=WorkloadConfig(rate_per_min=20.0, horizon=5.0,
                                 duration_range=(1.0, 4.0)),
@@ -27,9 +29,10 @@ def config(seed=0, export=None):
     )
 
 
-def export_bytes(seed, tmp_path, tag):
+def export_bytes(seed, tmp_path, tag, faults=None):
     path = tmp_path / f"{tag}.jsonl"
-    result = run_experiment(config(seed=seed, export=str(path)))
+    result = run_experiment(config(seed=seed, export=str(path),
+                                   faults=faults))
     return path.read_bytes(), result
 
 
@@ -62,6 +65,48 @@ class TestByteIdenticalStreams:
 
         assert stable_part(res_a.telemetry_summary) == \
             stable_part(res_b.telemetry_summary)
+
+
+PLAN = FaultPlan(
+    faults=(
+        FaultSpec(kind="probe_loss", rate=0.3),
+        FaultSpec(kind="lookup_failure", rate=0.15),
+        FaultSpec(kind="admission_failure", rate=0.1),
+        FaultSpec(kind="stale_state", rate=0.5, staleness=2.0),
+        FaultSpec(kind="partition", start=2.0, end=4.0, fraction=0.3),
+    ),
+    name="determinism",
+)
+
+
+class TestFaultedStreamsAreByteIdentical:
+    """Same (seed, plan) -> the same faults -> the same byte stream."""
+
+    def test_same_seed_same_plan_same_bytes(self, tmp_path):
+        a, res_a = export_bytes(3, tmp_path, "a", faults=PLAN)
+        b, res_b = export_bytes(3, tmp_path, "b", faults=PLAN)
+        assert a == b
+        assert res_a.n_faults_injected == res_b.n_faults_injected > 0
+        assert res_a.fault_summary == res_b.fault_summary
+
+    def test_fault_events_reach_the_stream(self, tmp_path):
+        a, res = export_bytes(3, tmp_path, "a", faults=PLAN)
+        assert b'"event": "fault.injected"' in a
+        assert b'"event": "retry.attempt"' in a
+        assert res.n_retries > 0
+
+    def test_different_plan_different_bytes(self, tmp_path):
+        a, _ = export_bytes(3, tmp_path, "a", faults=PLAN)
+        other = FaultPlan((FaultSpec(kind="probe_loss", rate=0.6),))
+        c, _ = export_bytes(3, tmp_path, "c", faults=other)
+        assert a != c
+
+    def test_no_plan_differs_from_faulted(self, tmp_path):
+        a, res_a = export_bytes(3, tmp_path, "a", faults=PLAN)
+        d, res_d = export_bytes(3, tmp_path, "d")
+        assert a != d
+        assert res_d.n_faults_injected == 0
+        assert res_d.fault_summary is None
 
 
 class TestDisabledRunEmitsNothing:
