@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test test-log bench bench-log bench-paper figures \
-        figures-quick examples coverage clean
+        figures-quick examples coverage clean profile perf-record \
+        perf-check
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -22,6 +23,21 @@ bench-log:
 
 bench-paper:
 	REPRO_PAPER_SCALE=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+profile:
+	$(PYTHON) -m repro profile run --rate 100 --horizon 20 --cprofile
+
+perf-record:
+	$(PYTHON) -m repro perf record
+
+perf-check:
+	@latest=$$(ls BENCH_*.json | sort -V | tail -1); \
+	tmp=$$(mktemp /tmp/bench.XXXXXX.json); \
+	echo "recording current checkout vs $$latest ..."; \
+	$(PYTHON) -m repro perf record --scenarios smoke baseline churn heavy \
+		--out $$tmp >/dev/null && \
+	$(PYTHON) -m repro perf compare $$latest $$tmp; \
+	status=$$?; rm -f $$tmp; exit $$status
 
 figures:
 	$(PYTHON) examples/paper_figures.py

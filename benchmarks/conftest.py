@@ -12,27 +12,37 @@ import os
 import pytest
 
 
+# Benches are ordered: figures first, then claims, then ablations, then
+# workload/extension benches.  Every ``bench_*.py`` in this directory
+# MUST appear here -- ``tests/test_bench_conftest.py`` asserts the map
+# stays in sync with the files on disk, so a new bench that forgets to
+# register fails fast instead of silently sorting last.
+BENCH_ORDER = {
+    "bench_figure5": 0,
+    "bench_figure6": 1,
+    "bench_figure7": 2,
+    "bench_figure8": 3,
+    "bench_qcs_complexity": 4,
+    "bench_probe_overhead": 5,
+    "bench_chord_lookup": 6,
+    "bench_ablation_uptime": 7,
+    "bench_ablation_probe_budget": 8,
+    "bench_ablation_tiers": 9,
+    "bench_can_lookup": 10,
+    "bench_load_balance": 11,
+    "bench_lookup_substrate": 12,
+    "bench_recovery": 13,
+    "bench_sensitivity": 14,
+    "bench_fault_tolerance": 15,
+    "bench_flash_crowd": 16,
+    "bench_latency_aware": 17,
+}
+
+
 def pytest_collection_modifyitems(config, items):
-    # Benches are ordered: figures first, then claims, then ablations.
-    order = {
-        "bench_figure5": 0,
-        "bench_figure6": 1,
-        "bench_figure7": 2,
-        "bench_figure8": 3,
-        "bench_qcs_complexity": 4,
-        "bench_probe_overhead": 5,
-        "bench_chord_lookup": 6,
-        "bench_ablation_uptime": 7,
-        "bench_ablation_probe_budget": 8,
-        "bench_ablation_tiers": 9,
-        "bench_can_lookup": 10,
-        "bench_load_balance": 11,
-        "bench_lookup_substrate": 12,
-        "bench_recovery": 13,
-        "bench_sensitivity": 14,
-        "bench_fault_tolerance": 15,
-    }
-    items.sort(key=lambda it: order.get(it.module.__name__.split(".")[-1], 99))
+    items.sort(
+        key=lambda it: BENCH_ORDER.get(it.module.__name__.split(".")[-1], 99)
+    )
 
 
 @pytest.fixture(scope="session")

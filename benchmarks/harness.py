@@ -1,0 +1,43 @@
+"""Benchmarks-side entry point for the perf-regression harness.
+
+The implementation lives in :mod:`repro.perf.harness` (so the installed
+CLI can reach it); this shim gives the benchmarks directory a direct
+door to the same machinery:
+
+    python benchmarks/harness.py record --out BENCH_1.json
+    python benchmarks/harness.py compare BENCH_0.json BENCH_1.json
+
+plus :func:`run_scenario` for bench files that want one profiled
+scenario run without going through the CLI.  Not collected by pytest
+(only ``bench_*.py`` files are benches).
+"""
+
+import sys
+
+from repro.perf import (  # noqa: F401  (re-exported for bench files)
+    SCENARIOS,
+    compare_benches,
+    load_bench,
+    next_bench_path,
+    record_bench,
+    validate_bench,
+    write_bench,
+)
+
+
+def run_scenario(name: str, seed: int = 0, algorithm: str = "qsa"):
+    """One profiled scenario run: ``(ExperimentResult, ProfileReport)``."""
+    from repro.telemetry.profiling import profile_run
+
+    scenario = SCENARIOS[name]
+    return profile_run(scenario.make(seed).with_algorithm(algorithm))
+
+
+def main(argv=None) -> int:
+    from repro.cli import main as cli_main
+
+    return cli_main(["perf", *(sys.argv[1:] if argv is None else argv)])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,22 @@ Commands
 ``telemetry``
     Work with the telemetry subsystem: ``catalog`` prints the event and
     metric catalogs, ``summary PATH`` summarizes an exported JSONL
-    stream.
+    stream (event counts, ordering, and p50/p95/p99 for the histograms
+    reconstructable from the stream).
+``trace``
+    Analyze the spans of an exported stream (telemetry JSONL or a
+    profile trace): ``tree`` renders the span forest, ``critical-path``
+    attributes time to pipeline phases, ``flame`` exports folded stacks
+    (flamegraph.pl / speedscope compatible).
+``profile``
+    Run one experiment under wall-clock profiling: hot-path span
+    attribution, throughput counters, optional cProfile top-N, optional
+    wall-trace export for the ``trace`` commands.
+``perf``
+    The perf-regression harness: ``record`` runs named scenarios into a
+    schema-validated ``BENCH_<n>.json``, ``compare`` diffs two documents
+    and exits non-zero on regressions, ``scenarios`` lists what's
+    available.
 ``info``
     Package, configuration-default and scale information.
 
@@ -25,6 +40,11 @@ Examples::
     python -m repro run --rate 100 --telemetry events.jsonl
     python -m repro run --rate 100 --faults plan.json
     python -m repro telemetry summary events.jsonl
+    python -m repro trace critical-path events.jsonl
+    python -m repro profile run --rate 100 --cprofile --trace-out prof.jsonl
+    python -m repro trace flame prof.jsonl --out prof.folded
+    python -m repro perf record --out BENCH_1.json
+    python -m repro perf compare BENCH_0.json BENCH_1.json
     REPRO_PAPER_SCALE=1 python -m repro figure7
 """
 
@@ -104,6 +124,77 @@ def build_parser() -> argparse.ArgumentParser:
         "summary", help="summarize an exported JSONL event stream"
     )
     tel_summary.add_argument("path", help="JSONL file from --telemetry")
+
+    trace = sub.add_parser("trace", help="span analytics over a JSONL stream")
+    trace_sub = trace.add_subparsers(dest="trace_action", required=True)
+    tr_tree = trace_sub.add_parser("tree", help="render the span forest")
+    tr_tree.add_argument("path", help="telemetry JSONL or profile trace")
+    tr_tree.add_argument("--limit", type=int, default=200,
+                         help="max lines to print")
+    tr_cp = trace_sub.add_parser(
+        "critical-path",
+        help="per-phase time attribution and dominant phases",
+    )
+    tr_cp.add_argument("path", help="telemetry JSONL or profile trace")
+    tr_cp.add_argument("--root", default="request",
+                       help="root span name to analyze (default: request)")
+    tr_flame = trace_sub.add_parser(
+        "flame", help="folded-stack output (flamegraph.pl / speedscope)"
+    )
+    tr_flame.add_argument("path", help="telemetry JSONL or profile trace")
+    tr_flame.add_argument("--out", default=None,
+                          help="write folded stacks here (default: stdout)")
+    tr_flame.add_argument("--counts", action="store_true",
+                          help="weight stacks by span count, not self time")
+
+    prof = sub.add_parser("profile", help="wall-clock profiling")
+    prof_sub = prof.add_subparsers(dest="profile_action", required=True)
+    prof_run = prof_sub.add_parser(
+        "run", help="run one experiment under the profiler"
+    )
+    prof_run.add_argument("--algorithm", choices=("qsa", "random", "fixed"),
+                          default="qsa")
+    prof_run.add_argument("--rate", type=float, default=100.0,
+                          help="request rate, req/min in paper units")
+    prof_run.add_argument("--horizon", type=float, default=30.0)
+    prof_run.add_argument("--churn", type=float, default=0.0,
+                          help="churn rate, peers/min in paper units")
+    prof_run.add_argument("--seed", type=int, default=0)
+    prof_run.add_argument("--cprofile", action="store_true",
+                          help="also run cProfile and print a top-N table")
+    prof_run.add_argument("--top", type=int, default=25,
+                          help="cProfile rows to keep (with --cprofile)")
+    prof_run.add_argument("--trace-out", metavar="PATH", default=None,
+                          help="export the wall-span trace as JSONL "
+                               "(feed to `repro trace`)")
+
+    perf = sub.add_parser("perf", help="perf-regression harness")
+    perf_sub = perf.add_subparsers(dest="perf_action", required=True)
+    perf_rec = perf_sub.add_parser(
+        "record", help="run scenarios into a BENCH_<n>.json document"
+    )
+    perf_rec.add_argument("--scenarios", nargs="+", default=None,
+                          metavar="NAME",
+                          help="scenario names (default: baseline churn heavy)")
+    perf_rec.add_argument("--seed", type=int, default=0)
+    perf_rec.add_argument("--algorithm",
+                          choices=("qsa", "random", "fixed"), default="qsa")
+    perf_rec.add_argument("--out", default=None, metavar="PATH",
+                          help="output path (default: next free "
+                               "BENCH_<n>.json in the current directory)")
+    perf_cmp = perf_sub.add_parser(
+        "compare", help="diff two bench documents; non-zero on regression"
+    )
+    perf_cmp.add_argument("old", help="baseline BENCH json")
+    perf_cmp.add_argument("new", help="candidate BENCH json")
+    perf_cmp.add_argument("--threshold", type=float, default=0.25,
+                          help="max tolerated throughput/latency drift "
+                               "ratio (default 0.25)")
+    perf_cmp.add_argument("--psi-tolerance", type=float, default=0.02,
+                          help="max tolerated absolute ψ drop (default 0.02)")
+    perf_cmp.add_argument("--warn-only", action="store_true",
+                          help="report regressions but exit zero (CI smoke)")
+    perf_sub.add_parser("scenarios", help="list the named scenarios")
 
     sub.add_parser("info", help="package and scale information")
     return parser
@@ -235,11 +326,20 @@ def _cmd_telemetry(args) -> int:
     # summary <path>
     import json
 
+    from repro.telemetry.metrics import Histogram
+
     counts: dict = {}
     t_min = t_max = None
     prev = None
     monotone = True
     n = 0
+    # Histograms reconstructable from the stream itself; surfaced with
+    # the same p50/p95/p99 columns the registry summary prints.
+    hists = {
+        "lookup.hops": Histogram("lookup.hops"),
+        "recovery.latency": Histogram("recovery.latency"),
+        "session.duration": Histogram("session.duration"),
+    }
     try:
         stream = open(args.path)
     except OSError as exc:
@@ -257,13 +357,20 @@ def _cmd_telemetry(args) -> int:
                       file=sys.stderr)
                 return 1
             n += 1
-            counts[rec["event"]] = counts.get(rec["event"], 0) + 1
+            event = rec["event"]
+            counts[event] = counts.get(event, 0) + 1
             t = rec["t"]
             t_min = t if t_min is None else min(t_min, t)
             t_max = t if t_max is None else max(t_max, t)
             if prev is not None and t < prev:
                 monotone = False
             prev = t
+            if event == "lookup.done" and "hops" in rec:
+                hists["lookup.hops"].observe(rec["hops"])
+            elif event == "recovery.repaired" and "latency" in rec:
+                hists["recovery.latency"].observe(rec["latency"])
+            elif event == "span" and rec.get("name") == "session":
+                hists["session.duration"].observe(t - rec.get("start", t))
     if n == 0:
         print(f"{args.path}: empty event stream")
         return 0
@@ -273,7 +380,140 @@ def _cmd_telemetry(args) -> int:
     width = max(len(k) for k in counts)
     for name in sorted(counts):
         print(f"  {name:<{width}}  {counts[name]:>8d}")
+    filled = {name: h for name, h in hists.items() if h.count}
+    if filled:
+        width = max(len(name) for name in filled)
+        print("histograms"
+              + " " * max(1, width - 4)
+              + "count       mean        p50        p95        p99")
+        for name, h in sorted(filled.items()):
+            print(f"  {name:<{width}}  {h.count:>8d} {h.mean:>10.3f} "
+                  f"{h.percentile(50):>10.3f} {h.percentile(95):>10.3f} "
+                  f"{h.percentile(99):>10.3f}")
     return 0 if monotone else 1
+
+
+def _cmd_trace(args) -> int:
+    from repro.telemetry.analysis import (
+        TraceAnalysisError,
+        build_forest,
+        folded_stacks,
+        load_jsonl_spans,
+        phase_report,
+        render_folded,
+        render_forest,
+    )
+
+    try:
+        records, unit = load_jsonl_spans(args.path)
+    except OSError as exc:
+        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+        return 1
+    except TraceAnalysisError as exc:
+        print(f"{args.path}: {exc}", file=sys.stderr)
+        return 1
+    if not records:
+        print(f"{args.path}: no span events in this stream "
+              "(was the run telemetry-enabled?)", file=sys.stderr)
+        return 1
+    forest = build_forest(records)
+    if args.trace_action == "tree":
+        print(render_forest(forest, unit, limit=args.limit))
+        return 0
+    if args.trace_action == "critical-path":
+        unit_note = "wall seconds" if unit == "s" else "sim minutes"
+        print(f"{args.path}: {len(records)} spans, durations in {unit_note}")
+        print(phase_report(forest, root_name=args.root))
+        return 0
+    # flame
+    stacks = folded_stacks(forest, by_count=args.counts)
+    folded = render_folded(stacks)
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(folded)
+            fh.write("\n")
+        print(f"{len(stacks)} stacks -> {args.out}")
+    else:
+        print(folded)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.telemetry.profiling import profile_run
+
+    config = default_scale(args.rate, args.horizon, args.churn, args.seed)
+    config = config.with_algorithm(args.algorithm)
+    result, report = profile_run(
+        config,
+        cprofile=args.cprofile,
+        top=args.top,
+        trace_out=args.trace_out,
+    )
+    print(result.summary())
+    print()
+    print(report.render())
+    if args.trace_out is not None:
+        print()
+        print(f"wall-span trace: {len(report.wall_spans)} spans "
+              f"-> {args.trace_out} (analyze with `repro trace`)")
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    from repro.perf import (
+        SCENARIOS,
+        compare_benches,
+        load_bench,
+        next_bench_path,
+        record_bench,
+        write_bench,
+    )
+
+    if args.perf_action == "scenarios":
+        width = max(len(n) for n in SCENARIOS)
+        for name, sc in sorted(SCENARIOS.items()):
+            print(f"{name:<{width}}  {sc.description}")
+        return 0
+    if args.perf_action == "record":
+        try:
+            doc = record_bench(
+                scenario_names=args.scenarios,
+                seed=args.seed,
+                algorithm=args.algorithm,
+                progress=lambda msg: print(msg, file=sys.stderr),
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        out = args.out or next_bench_path(".")
+        write_bench(doc, out)
+        print(f"bench document -> {out}")
+        for name, sc in doc["scenarios"].items():
+            lat = sc["setup_latency_us"]
+            print(f"  {name}: ψ={sc['psi']:.3f} "
+                  f"{sc['throughput']['requests_per_sec']:.1f} req/s "
+                  f"setup p95={lat['p95']:.0f}µs "
+                  f"({sc['wall_seconds']:.2f}s wall)")
+        return 0
+    # compare <old> <new>
+    try:
+        old = load_bench(args.old)
+        new = load_bench(args.new)
+    except OSError as exc:
+        print(f"cannot read bench document: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    comparison = compare_benches(
+        old, new, threshold=args.threshold, psi_tolerance=args.psi_tolerance
+    )
+    print(f"comparing {args.old} (old) vs {args.new} (new), "
+          f"threshold {args.threshold:.0%}")
+    print(comparison.render())
+    if not comparison.ok and not args.warn_only:
+        return 1
+    return 0
 
 
 def _cmd_info(args) -> int:
@@ -297,13 +537,19 @@ _COMMANDS = {
     "figure8": _cmd_figure8,
     "run": _cmd_run,
     "telemetry": _cmd_telemetry,
+    "trace": _cmd_trace,
+    "profile": _cmd_profile,
+    "perf": _cmd_perf,
     "info": _cmd_info,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:  # e.g. `repro trace flame ... | head`
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -41,6 +41,7 @@ from repro.services.model import AbstractServicePath, ServiceInstance
 from repro.services.qoscompiler import QoSCompiler, UserRequest
 from repro.sessions.admission import AdmissionError
 from repro.sessions.session import Session, SessionLedger
+from repro.telemetry.spans import NULL_TRACER
 
 __all__ = ["AggregationStatus", "AggregationResult", "BaseAggregator", "QSAAggregator"]
 
@@ -181,11 +182,14 @@ class BaseAggregator:
             return self._aggregate(request)
 
     def _aggregate(self, request: UserRequest) -> AggregationResult:
+        tel = self.telemetry
+        tracer = tel.tracer if tel is not None else NULL_TRACER
         path, user_qos = self.compiler.compile(request, self.rng)
 
-        candidates, hops = self.registry.discover_path_candidates(
-            path.services, request.peer_id
-        )
+        with tracer.span("lookup.candidates", services=len(path.services)):
+            candidates, hops = self.registry.discover_path_candidates(
+                path.services, request.peer_id
+            )
         if any(not specs for specs in candidates.values()):
             return self._trace(AggregationResult(
                 request, AggregationStatus.NO_CANDIDATES, lookup_hops=hops
@@ -200,12 +204,13 @@ class BaseAggregator:
 
         # Host discovery, selection order (user-adjacent instance first).
         hosts_selection_order: List[List[int]] = []
-        for inst in reversed(composed.instances):
-            host_set, h = self.registry.discover_hosts(
-                inst.instance_id, request.peer_id
-            )
-            hops += h
-            hosts_selection_order.append(sorted(host_set))
+        with tracer.span("lookup.hosts", instances=len(composed.instances)):
+            for inst in reversed(composed.instances):
+                host_set, h = self.registry.discover_hosts(
+                    inst.instance_id, request.peer_id
+                )
+                hops += h
+                hosts_selection_order.append(sorted(host_set))
 
         peers = self.select_peers(request, composed, hosts_selection_order)
         if peers is None:
@@ -217,13 +222,14 @@ class BaseAggregator:
             ))
 
         try:
-            session = self.ledger.admit(
-                request_id=request.request_id,
-                user_peer=request.peer_id,
-                instances=composed.instances,
-                peers=peers,
-                duration=request.session_duration,
-            )
+            with tracer.span("admission", peers=len(peers)):
+                session = self.ledger.admit(
+                    request_id=request.request_id,
+                    user_peer=request.peer_id,
+                    instances=composed.instances,
+                    peers=peers,
+                    duration=request.session_duration,
+                )
         except AdmissionError as exc:
             status = {
                 "resources": AggregationStatus.RESOURCES_DENIED,
@@ -312,6 +318,8 @@ class QSAAggregator(BaseAggregator):
         composed: ComposedPath,
         hosts_selection_order: List[List[int]],
     ) -> Optional[Tuple[int, ...]]:
+        tel = self.telemetry
+        tracer = tel.tracer if tel is not None else NULL_TRACER
         n = len(composed.instances)
         selected_reverse: List[int] = []
         current = request.peer_id
@@ -321,11 +329,12 @@ class QSAAggregator(BaseAggregator):
             # Dynamic neighbor resolution: the selecting peer learns the
             # remaining hops' candidate providers (direct neighbors at
             # the requesting host, indirect along the chain).
-            self.probing.resolve_selection_hops(
-                current,
-                hosts_selection_order[i:],
-                direct=(current == request.peer_id),
-            )
+            with tracer.span("probing.resolve", peer=current):
+                self.probing.resolve_selection_hops(
+                    current,
+                    hosts_selection_order[i:],
+                    direct=(current == request.peer_id),
+                )
             outcome = self.selector.select_hop(
                 selecting_peer=current,
                 candidates=candidates,

@@ -63,13 +63,24 @@ class ExperimentResult:
         )
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Build the grid, stream the workload, drain, and collect ψ."""
+def run_experiment(
+    config: ExperimentConfig, profiler=None
+) -> ExperimentResult:
+    """Build the grid, stream the workload, drain, and collect ψ.
+
+    ``profiler`` (a :class:`repro.telemetry.profiling.Profiler`) attaches
+    to the grid's span tracer for wall-clock attribution; it forces
+    telemetry spans on but observes only in-process, so the exported
+    stream is unchanged by profiling.
+    """
     t0 = time.perf_counter()
     grid_config = config.grid
-    if config.telemetry_export is not None and not grid_config.telemetry:
+    needs_telemetry = config.telemetry_export is not None or profiler is not None
+    if needs_telemetry and not grid_config.telemetry:
         grid_config = replace(grid_config, telemetry=True)
     grid = P2PGrid(grid_config)
+    if profiler is not None:
+        profiler.attach(grid)
     aggregator = grid.make_aggregator(
         config.algorithm, **dict(config.algorithm_options)
     )

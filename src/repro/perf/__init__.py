@@ -1,0 +1,34 @@
+"""The performance-regression harness (see ``docs/observability.md``).
+
+Named workload scenarios are run under the wall-clock profiler, their
+throughput / ψ / setup-latency percentiles recorded into schema-validated
+``BENCH_<n>.json`` documents at the repo root, and any two documents can
+be compared with configurable regression thresholds -- the machinery
+behind ``repro perf record|compare`` and the committed BENCH trajectory.
+"""
+
+from repro.perf.harness import (
+    BENCH_SCHEMA,
+    SCENARIOS,
+    BenchComparison,
+    Scenario,
+    compare_benches,
+    load_bench,
+    next_bench_path,
+    record_bench,
+    validate_bench,
+    write_bench,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "SCENARIOS",
+    "BenchComparison",
+    "Scenario",
+    "compare_benches",
+    "load_bench",
+    "next_bench_path",
+    "record_bench",
+    "validate_bench",
+    "write_bench",
+]

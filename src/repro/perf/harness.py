@@ -1,0 +1,371 @@
+"""Perf-regression harness: record scenarios, compare against a baseline.
+
+The ROADMAP's north star is "as fast as the hardware allows" -- which is
+only falsifiable against a *recorded trajectory*.  This module turns the
+repo-root ``BENCH_<n>.json`` sequence into that trajectory:
+
+* :data:`SCENARIOS` names the standard workloads (steady / churny /
+  heavy / smoke), each a seed-parameterized
+  :class:`~repro.experiments.config.ExperimentConfig` factory;
+* :func:`record_bench` runs each scenario under the wall-clock profiler
+  (:func:`repro.telemetry.profiling.profile_run`) and collects wall
+  throughput, ψ, and setup-latency percentiles (the profiler's reservoir
+  histogram -- same class the metrics registry uses) plus seed / scale /
+  host metadata into one schema-validated document;
+* :func:`compare_benches` diffs two documents and flags regressions
+  beyond configurable thresholds (``repro perf compare`` exits non-zero
+  on any).
+
+Wall-clock numbers are host-dependent by nature; the committed baseline
+pins the *methodology* (scenario, seed, telemetry-on measurement), and
+CI compares warn-only while local ``repro perf compare`` enforces.
+
+ψ is seeded-deterministic per scenario, so a ψ change in a comparison is
+a behaviour change, not noise; throughput and latency carry host noise,
+hence the ratio thresholds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    default_scale,
+    scale_factor,
+)
+from repro.grid import GridConfig
+from repro.probing.prober import ProbingConfig
+from repro.workload.generator import WorkloadConfig
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "SCENARIOS",
+    "Scenario",
+    "BenchComparison",
+    "record_bench",
+    "compare_benches",
+    "validate_bench",
+    "load_bench",
+    "write_bench",
+    "next_bench_path",
+]
+
+#: Document format identifier; bump on incompatible layout changes.
+BENCH_SCHEMA = "repro-bench/1"
+
+_BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, seed-parameterized workload for the harness."""
+
+    name: str
+    description: str
+    make: Callable[[int], ExperimentConfig]
+
+
+def _smoke(seed: int) -> ExperimentConfig:
+    # Deliberately tiny: a few hundred peers, short horizon, short
+    # sessions -- the CI perf-smoke job runs this on every push.
+    return ExperimentConfig(
+        grid=GridConfig(
+            n_peers=250, probing=ProbingConfig(budget=10), seed=seed
+        ),
+        workload=WorkloadConfig(
+            rate_per_min=30.0, horizon=10.0, duration_range=(1.0, 8.0)
+        ),
+        drain_minutes=10.0,
+    )
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    "smoke": Scenario(
+        "smoke",
+        "reduced sanity scenario (250 peers, 10 min) for CI",
+        _smoke,
+    ),
+    "baseline": Scenario(
+        "baseline",
+        "steady §4.1 load, 100 req/min paper units, no churn",
+        lambda seed: default_scale(100.0, 20.0, 0.0, seed),
+    ),
+    "churn": Scenario(
+        "churn",
+        "steady load under 50 peers/min churn (paper units)",
+        lambda seed: default_scale(100.0, 20.0, 50.0, seed),
+    ),
+    "heavy": Scenario(
+        "heavy",
+        "4x request rate, the contention regime of Fig. 5's right edge",
+        lambda seed: default_scale(400.0, 20.0, 0.0, seed),
+    ),
+}
+
+#: Scenarios a bare ``repro perf record`` runs (smoke stays CI-only).
+DEFAULT_SCENARIOS: Tuple[str, ...] = ("baseline", "churn", "heavy")
+
+
+# -- recording --------------------------------------------------------------
+
+def record_bench(
+    scenario_names: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    algorithm: str = "qsa",
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Run the named scenarios and return one bench document."""
+    from repro.telemetry.profiling import profile_run
+
+    names = list(scenario_names or DEFAULT_SCENARIOS)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        raise ValueError(
+            f"unknown scenario(s) {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(SCENARIOS))}"
+        )
+    scenarios: Dict[str, Dict] = {}
+    for name in names:
+        scenario = SCENARIOS[name]
+        if progress is not None:
+            progress(f"recording scenario '{name}' "
+                     f"({scenario.description}) ...")
+        config = scenario.make(seed).with_algorithm(algorithm)
+        result, report = profile_run(config)
+        p = report.latency_percentiles()
+        scenarios[name] = {
+            "description": scenario.description,
+            "n_peers": config.grid.n_peers,
+            "rate_per_min": config.workload.rate_per_min,
+            "horizon": config.workload.horizon,
+            "churn_per_min": (
+                config.grid.churn.rate_per_min if config.grid.churn else 0.0
+            ),
+            "n_requests": result.n_requests,
+            "psi": result.success_ratio,
+            "wall_seconds": result.wall_seconds,
+            "throughput": dict(report.throughput),
+            "setup_latency_us": {
+                "count": int(p["count"]),
+                "mean": p["mean"],
+                "p50": p["p50"],
+                "p95": p["p95"],
+                "p99": p["p99"],
+                "max": p["max"],
+            },
+            "mean_lookup_hops": result.mean_lookup_hops,
+            "probe_overhead": result.probe_overhead,
+        }
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "recorded_unix": time.time(),
+        "seed": seed,
+        "algorithm": algorithm,
+        "scale_factor": scale_factor(),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "scenarios": scenarios,
+    }
+    validate_bench(doc)
+    return doc
+
+
+# -- schema validation -------------------------------------------------------
+
+_SCENARIO_FIELDS = {
+    "description": str,
+    "n_peers": int,
+    "rate_per_min": (int, float),
+    "horizon": (int, float),
+    "churn_per_min": (int, float),
+    "n_requests": int,
+    "psi": (int, float),
+    "wall_seconds": (int, float),
+    "throughput": dict,
+    "setup_latency_us": dict,
+    "mean_lookup_hops": (int, float),
+    "probe_overhead": (int, float),
+}
+_THROUGHPUT_FIELDS = ("requests_per_sec", "lookups_per_sec", "probes_per_sec")
+_LATENCY_FIELDS = ("count", "mean", "p50", "p95", "p99", "max")
+
+
+def validate_bench(doc: Dict) -> None:
+    """Raise ``ValueError`` naming the first schema violation found."""
+    if not isinstance(doc, dict):
+        raise ValueError("bench document must be a JSON object")
+    if doc.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"schema mismatch: expected {BENCH_SCHEMA!r}, "
+            f"got {doc.get('schema')!r}"
+        )
+    for key, kind in (
+        ("recorded_unix", (int, float)),
+        ("seed", int),
+        ("algorithm", str),
+        ("scale_factor", (int, float)),
+        ("host", dict),
+        ("scenarios", dict),
+    ):
+        if key not in doc:
+            raise ValueError(f"missing top-level field {key!r}")
+        if not isinstance(doc[key], kind):
+            raise ValueError(f"field {key!r} has wrong type "
+                             f"{type(doc[key]).__name__}")
+    if not doc["scenarios"]:
+        raise ValueError("bench document records no scenarios")
+    for name, sc in doc["scenarios"].items():
+        if not isinstance(sc, dict):
+            raise ValueError(f"scenario {name!r} must be an object")
+        for key, kind in _SCENARIO_FIELDS.items():
+            if key not in sc:
+                raise ValueError(f"scenario {name!r} missing field {key!r}")
+            if not isinstance(sc[key], kind):
+                raise ValueError(
+                    f"scenario {name!r} field {key!r} has wrong type "
+                    f"{type(sc[key]).__name__}"
+                )
+        for key in _THROUGHPUT_FIELDS:
+            if not isinstance(sc["throughput"].get(key), (int, float)):
+                raise ValueError(
+                    f"scenario {name!r} throughput missing {key!r}"
+                )
+        for key in _LATENCY_FIELDS:
+            if not isinstance(sc["setup_latency_us"].get(key), (int, float)):
+                raise ValueError(
+                    f"scenario {name!r} setup_latency_us missing {key!r}"
+                )
+        if not 0.0 <= sc["psi"] <= 1.0:
+            raise ValueError(f"scenario {name!r} psi out of [0, 1]")
+
+
+def load_bench(path: str) -> Dict:
+    """Read and validate one bench document."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    try:
+        validate_bench(doc)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from None
+    return doc
+
+
+def write_bench(doc: Dict, path: str) -> None:
+    """Validate then write one bench document (stable key order)."""
+    validate_bench(doc)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def next_bench_path(root: str = ".") -> str:
+    """The next free ``BENCH_<n>.json`` under ``root`` (gap-free append)."""
+    taken = [
+        int(m.group(1))
+        for entry in os.listdir(root)
+        if (m := _BENCH_RE.match(entry))
+    ]
+    n = max(taken) + 1 if taken else 0
+    return os.path.join(root, f"BENCH_{n}.json")
+
+
+# -- comparison --------------------------------------------------------------
+
+@dataclass
+class BenchComparison:
+    """The verdict of comparing a new bench document to an old one."""
+
+    regressions: List[str] = field(default_factory=list)
+    improvements: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        for text in self.improvements:
+            lines.append(f"improved: {text}")
+        for text in self.regressions:
+            lines.append(f"REGRESSION: {text}")
+        if not self.regressions:
+            lines.append("no regressions beyond threshold")
+        return "\n".join(lines)
+
+
+def compare_benches(
+    old: Dict,
+    new: Dict,
+    threshold: float = 0.25,
+    psi_tolerance: float = 0.02,
+) -> BenchComparison:
+    """Flag per-scenario regressions of ``new`` relative to ``old``.
+
+    * throughput (requests/sec) may not drop by more than ``threshold``
+      (a ratio, e.g. 0.25 = 25 %);
+    * setup-latency p95 may not rise by more than ``threshold``;
+    * ψ may not drop by more than ``psi_tolerance`` (absolute --
+      deterministic per seed, so any real drop is a behaviour change).
+
+    Symmetric improvements are reported informationally.
+    """
+    if not 0 < threshold < 1:
+        raise ValueError("threshold must be a ratio in (0, 1)")
+    comp = BenchComparison()
+    old_sc, new_sc = old["scenarios"], new["scenarios"]
+    only_old = sorted(set(old_sc) - set(new_sc))
+    only_new = sorted(set(new_sc) - set(old_sc))
+    if only_old:
+        comp.notes.append(f"scenarios only in OLD: {', '.join(only_old)}")
+    if only_new:
+        comp.notes.append(f"scenarios only in NEW: {', '.join(only_new)}")
+    if old.get("host") != new.get("host"):
+        comp.notes.append(
+            "recorded on different hosts; wall-clock deltas are indicative"
+        )
+
+    for name in sorted(set(old_sc) & set(new_sc)):
+        o, n = old_sc[name], new_sc[name]
+
+        o_rps = o["throughput"]["requests_per_sec"]
+        n_rps = n["throughput"]["requests_per_sec"]
+        if o_rps > 0:
+            ratio = n_rps / o_rps
+            text = (f"{name}: throughput {o_rps:.1f} -> {n_rps:.1f} req/s "
+                    f"({ratio - 1:+.1%})")
+            if ratio < 1 - threshold:
+                comp.regressions.append(text)
+            elif ratio > 1 + threshold:
+                comp.improvements.append(text)
+
+        o_p95 = o["setup_latency_us"]["p95"]
+        n_p95 = n["setup_latency_us"]["p95"]
+        if o_p95 > 0:
+            ratio = n_p95 / o_p95
+            text = (f"{name}: setup latency p95 {o_p95:.0f} -> "
+                    f"{n_p95:.0f} µs ({ratio - 1:+.1%})")
+            if ratio > 1 + threshold:
+                comp.regressions.append(text)
+            elif ratio < 1 - threshold:
+                comp.improvements.append(text)
+
+        dpsi = n["psi"] - o["psi"]
+        text = f"{name}: ψ {o['psi']:.3f} -> {n['psi']:.3f} ({dpsi:+.3f})"
+        if dpsi < -psi_tolerance:
+            comp.regressions.append(text)
+        elif dpsi > psi_tolerance:
+            comp.improvements.append(text)
+    return comp

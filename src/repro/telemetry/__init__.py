@@ -8,14 +8,32 @@ Three cooperating pieces (see ``docs/architecture.md`` §Telemetry):
   registry;
 * :mod:`repro.telemetry.spans` -- sim-time span tracing.
 
+Post-hoc analysis rides on top:
+
+* :mod:`repro.telemetry.analysis` -- span-tree reconstruction, critical
+  paths and flame (folded-stack) export over exported streams;
+* :mod:`repro.telemetry.profiling` -- wall-clock profiling of a run
+  (kept out of the event stream to preserve seeded byte-determinism).
+
 :class:`repro.telemetry.facade.Telemetry` bundles them; the catalog of
 every emitted name lives in :mod:`repro.telemetry.catalog`.
 """
 
+from repro.telemetry.analysis import (
+    SpanNode,
+    SpanRecord,
+    aggregate_spans,
+    build_forest,
+    critical_path,
+    folded_stacks,
+    load_jsonl_spans,
+    phase_report,
+)
 from repro.telemetry.bus import BusEvent, EventBus
 from repro.telemetry.catalog import EVENT_CATALOG, METRIC_CATALOG, format_catalog
 from repro.telemetry.facade import Telemetry
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.profiling import ProfileReport, Profiler, profile_run
 from repro.telemetry.spans import NULL_TRACER, Span, SpanTracer, render_span_tree
 
 __all__ = [
@@ -33,4 +51,15 @@ __all__ = [
     "EVENT_CATALOG",
     "METRIC_CATALOG",
     "format_catalog",
+    "SpanNode",
+    "SpanRecord",
+    "aggregate_spans",
+    "build_forest",
+    "critical_path",
+    "folded_stacks",
+    "load_jsonl_spans",
+    "phase_report",
+    "ProfileReport",
+    "Profiler",
+    "profile_run",
 ]

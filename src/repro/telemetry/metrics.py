@@ -162,6 +162,7 @@ class MetricsRegistry:
                     "max": h.max,
                     "p50": h.percentile(50),
                     "p95": h.percentile(95),
+                    "p99": h.percentile(99),
                 }
                 for n, h in self._histograms.items()
             },
@@ -184,13 +185,15 @@ class MetricsRegistry:
         if self._histograms:
             lines.append(
                 "histograms"
-                "                 count       mean        min        max        p95"
+                "                 count       mean        min        max"
+                "        p50        p95        p99"
             )
             width = max(len(n) for n in self._histograms)
             for name, h in self.histograms().items():
                 lines.append(
                     f"  {name:<{width}}  {h.count:>8d} {h.mean:>10.3f} "
                     f"{(h.min or 0):>10.3f} {(h.max or 0):>10.3f} "
-                    f"{h.percentile(95):>10.3f}"
+                    f"{h.percentile(50):>10.3f} {h.percentile(95):>10.3f} "
+                    f"{h.percentile(99):>10.3f}"
                 )
         return "\n".join(lines) if lines else "(no metrics recorded)"

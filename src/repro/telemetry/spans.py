@@ -69,6 +69,13 @@ class Span:
         self._nested = nested
         self._closed = False
 
+    @property
+    def detached(self) -> bool:
+        """True for :meth:`SpanTracer.open` spans (interval outlives the
+        opening call, e.g. a session lifetime).  Wall-clock consumers
+        use this to tell sim-lifetime intervals from hot-path work."""
+        return not self._nested
+
     def end(self, **extra: Any) -> None:
         """Close the span: pop the stack (if nested) and emit the event."""
         if self._closed:
@@ -97,6 +104,11 @@ class SpanTracer:
         self._next_id = 0
         #: per-name wall-clock aggregates: name -> [count, total_seconds].
         self._wall: Dict[str, List[float]] = {}
+        #: wall-clock close observers: fn(span, wall_start, wall_end).
+        #: In-process only (the profiler's feed); nothing an observer
+        #: sees ever reaches the bus, so the exported stream stays
+        #: byte-deterministic with observers attached.
+        self._wall_observers: List[Callable[[Span, float, float], None]] = []
 
     def _new(self, name: str, nested: bool, fields: Dict[str, Any]) -> Span:
         span = Span(
@@ -129,11 +141,14 @@ class SpanTracer:
                 self._stack.pop()
             if self._stack:
                 self._stack.pop()
+        wall_end = time.perf_counter()
         agg = self._wall.get(span.name)
         if agg is None:
             agg = self._wall[span.name] = [0, 0.0]
         agg[0] += 1
-        agg[1] += time.perf_counter() - span._wall_start
+        agg[1] += wall_end - span._wall_start
+        for fn in self._wall_observers:
+            fn(span, span._wall_start, wall_end)
         self._bus.emit(
             "span",
             name=span.name,
@@ -145,6 +160,25 @@ class SpanTracer:
         )
 
     # -- wall-clock summary (in-process only; never exported) ----------------
+    def add_wall_observer(
+        self, fn: Callable[[Span, float, float], None]
+    ) -> Callable[[], None]:
+        """Call ``fn(span, wall_start, wall_end)`` on every span close.
+
+        Returns an unsubscribe callable.  Times are ``perf_counter``
+        values; the observer must not emit bus events (that would leak
+        wall-clock ordering into the deterministic stream).
+        """
+        self._wall_observers.append(fn)
+
+        def remove() -> None:
+            try:
+                self._wall_observers.remove(fn)
+            except ValueError:
+                pass
+
+        return remove
+
     def wall_totals(self) -> Dict[str, Tuple[int, float]]:
         """``name -> (count, total wall seconds)`` for closed spans."""
         return {n: (int(c), t) for n, (c, t) in sorted(self._wall.items())}
@@ -187,6 +221,9 @@ class NullTracer:
 
     def open(self, name: str, **fields: Any) -> "_NullSpan":
         return self._SPAN
+
+    def add_wall_observer(self, fn) -> Callable[[], None]:
+        return lambda: None
 
     def wall_totals(self) -> Dict[str, Tuple[int, float]]:
         return {}

@@ -1,0 +1,207 @@
+"""The perf-regression harness: schema, recording, and comparison."""
+
+import copy
+import json
+
+import pytest
+
+from repro.perf.harness import (
+    BENCH_SCHEMA,
+    DEFAULT_SCENARIOS,
+    SCENARIOS,
+    compare_benches,
+    load_bench,
+    next_bench_path,
+    record_bench,
+    validate_bench,
+    write_bench,
+)
+
+
+def bench_doc(**scenario_overrides):
+    """A minimal valid document with one scenario (no simulation run)."""
+    scenario = {
+        "description": "synthetic",
+        "n_peers": 100,
+        "rate_per_min": 10.0,
+        "horizon": 5.0,
+        "churn_per_min": 0.0,
+        "n_requests": 50,
+        "psi": 0.9,
+        "wall_seconds": 0.5,
+        "throughput": {
+            "requests_per_sec": 100.0,
+            "lookups_per_sec": 800.0,
+            "probes_per_sec": 300.0,
+        },
+        "setup_latency_us": {
+            "count": 50, "mean": 1500.0, "p50": 1400.0,
+            "p95": 2800.0, "p99": 3300.0, "max": 5000.0,
+        },
+        "mean_lookup_hops": 12.0,
+        "probe_overhead": 0.04,
+    }
+    scenario.update(scenario_overrides)
+    return {
+        "schema": BENCH_SCHEMA,
+        "recorded_unix": 1_700_000_000.0,
+        "seed": 0,
+        "algorithm": "qsa",
+        "scale_factor": 0.1,
+        "host": {"platform": "test", "python": "3.11", "machine": "x86_64"},
+        "scenarios": {"main": scenario},
+    }
+
+
+class TestSchema:
+    def test_valid_document_passes(self):
+        validate_bench(bench_doc())
+
+    def test_wrong_schema_string(self):
+        doc = bench_doc()
+        doc["schema"] = "repro-bench/0"
+        with pytest.raises(ValueError, match="schema mismatch"):
+            validate_bench(doc)
+
+    def test_missing_top_level_field(self):
+        doc = bench_doc()
+        del doc["seed"]
+        with pytest.raises(ValueError, match="seed"):
+            validate_bench(doc)
+
+    def test_missing_scenario_field(self):
+        doc = bench_doc()
+        del doc["scenarios"]["main"]["psi"]
+        with pytest.raises(ValueError, match="psi"):
+            validate_bench(doc)
+
+    def test_missing_percentile(self):
+        doc = bench_doc()
+        del doc["scenarios"]["main"]["setup_latency_us"]["p95"]
+        with pytest.raises(ValueError, match="p95"):
+            validate_bench(doc)
+
+    def test_psi_out_of_range(self):
+        with pytest.raises(ValueError, match=r"psi out of \[0, 1\]"):
+            validate_bench(bench_doc(psi=1.5))
+
+    def test_no_scenarios(self):
+        doc = bench_doc()
+        doc["scenarios"] = {}
+        with pytest.raises(ValueError, match="no scenarios"):
+            validate_bench(doc)
+
+
+class TestPersistence:
+    def test_write_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "BENCH_0.json")
+        doc = bench_doc()
+        write_bench(doc, path)
+        assert load_bench(path) == doc
+
+    def test_write_rejects_invalid(self, tmp_path):
+        doc = bench_doc()
+        doc["schema"] = "nope"
+        with pytest.raises(ValueError):
+            write_bench(doc, str(tmp_path / "x.json"))
+
+    def test_load_error_names_path(self, tmp_path):
+        path = tmp_path / "BENCH_9.json"
+        path.write_text(json.dumps({"schema": "nope"}))
+        with pytest.raises(ValueError, match="BENCH_9.json"):
+            load_bench(str(path))
+
+    def test_next_bench_path_appends(self, tmp_path):
+        assert next_bench_path(str(tmp_path)).endswith("BENCH_0.json")
+        (tmp_path / "BENCH_0.json").write_text("{}")
+        (tmp_path / "BENCH_3.json").write_text("{}")
+        assert next_bench_path(str(tmp_path)).endswith("BENCH_4.json")
+
+
+class TestComparison:
+    def test_identical_is_ok(self):
+        comp = compare_benches(bench_doc(), bench_doc())
+        assert comp.ok
+        assert "no regressions" in comp.render()
+
+    def test_throughput_drop_is_regression(self):
+        new = bench_doc()
+        new["scenarios"]["main"]["throughput"]["requests_per_sec"] = 50.0
+        comp = compare_benches(bench_doc(), new)
+        assert not comp.ok
+        assert any("throughput" in r for r in comp.regressions)
+
+    def test_latency_p95_rise_is_regression(self):
+        new = bench_doc()
+        new["scenarios"]["main"]["setup_latency_us"]["p95"] = 10_000.0
+        comp = compare_benches(bench_doc(), new)
+        assert any("p95" in r for r in comp.regressions)
+
+    def test_psi_drop_is_regression(self):
+        comp = compare_benches(bench_doc(), bench_doc(psi=0.8))
+        assert any("ψ" in r for r in comp.regressions)
+
+    def test_psi_within_tolerance_is_ok(self):
+        comp = compare_benches(bench_doc(), bench_doc(psi=0.89))
+        assert comp.ok
+
+    def test_improvements_reported_not_failing(self):
+        new = bench_doc()
+        new["scenarios"]["main"]["throughput"]["requests_per_sec"] = 200.0
+        comp = compare_benches(bench_doc(), new)
+        assert comp.ok
+        assert any("throughput" in s for s in comp.improvements)
+
+    def test_small_noise_within_threshold_is_ok(self):
+        new = bench_doc()
+        new["scenarios"]["main"]["throughput"]["requests_per_sec"] = 90.0
+        new["scenarios"]["main"]["setup_latency_us"]["p95"] = 3_000.0
+        assert compare_benches(bench_doc(), new).ok
+
+    def test_scenario_set_mismatch_noted(self):
+        old = bench_doc()
+        new = copy.deepcopy(old)
+        new["scenarios"]["extra"] = copy.deepcopy(
+            new["scenarios"]["main"]
+        )
+        comp = compare_benches(old, new)
+        assert any("only in NEW" in n for n in comp.notes)
+
+    def test_host_difference_noted(self):
+        new = bench_doc()
+        new["host"] = {"platform": "other", "python": "3.12",
+                       "machine": "arm64"}
+        comp = compare_benches(bench_doc(), new)
+        assert any("different hosts" in n for n in comp.notes)
+
+    def test_threshold_must_be_ratio(self):
+        with pytest.raises(ValueError, match="threshold"):
+            compare_benches(bench_doc(), bench_doc(), threshold=25.0)
+
+
+class TestRecording:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            record_bench(["no-such-scenario"])
+
+    def test_default_scenarios_exist(self):
+        assert set(DEFAULT_SCENARIOS) <= set(SCENARIOS)
+        assert "smoke" in SCENARIOS
+
+    def test_smoke_scenario_records_valid_document(self):
+        progress = []
+        doc = record_bench(["smoke"], seed=0, progress=progress.append)
+        validate_bench(doc)
+        assert progress and "smoke" in progress[0]
+        sc = doc["scenarios"]["smoke"]
+        assert sc["n_requests"] > 0
+        assert 0.0 <= sc["psi"] <= 1.0
+        assert sc["throughput"]["requests_per_sec"] > 0
+        assert sc["setup_latency_us"]["count"] == sc["n_requests"]
+
+    def test_recording_is_seed_deterministic_in_psi(self):
+        a = record_bench(["smoke"], seed=5)
+        b = record_bench(["smoke"], seed=5)
+        assert a["scenarios"]["smoke"]["psi"] == b["scenarios"]["smoke"]["psi"]
+        assert (a["scenarios"]["smoke"]["n_requests"]
+                == b["scenarios"]["smoke"]["n_requests"])

@@ -1,0 +1,118 @@
+"""Wall-clock profiling: attribution, reporting, and non-interference."""
+
+import io
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.grid import GridConfig, P2PGrid
+from repro.probing.prober import ProbingConfig
+from repro.telemetry.analysis import load_jsonl_spans
+from repro.telemetry.profiling import Profiler, profile_run
+from repro.workload.generator import WorkloadConfig
+
+
+def tiny_config(seed=0, telemetry=False):
+    return ExperimentConfig(
+        grid=GridConfig(
+            n_peers=120, probing=ProbingConfig(budget=5), seed=seed,
+            telemetry=telemetry,
+        ),
+        workload=WorkloadConfig(
+            rate_per_min=20.0, horizon=3.0, duration_range=(1.0, 5.0)
+        ),
+        drain_minutes=6.0,
+    )
+
+
+class TestProfiler:
+    def test_attach_requires_telemetry(self):
+        grid = P2PGrid(GridConfig(n_peers=30, telemetry=False))
+        with pytest.raises(ValueError, match="telemetry"):
+            Profiler().attach(grid)
+
+    def test_collects_wall_spans_and_latency(self):
+        result, report = profile_run(tiny_config())
+        assert result.n_requests > 0
+        assert report.wall_spans
+        # One latency sample per request span.
+        assert report.setup_latency_us.count == len(
+            [r for r in report.wall_spans if r.name == "request"]
+        )
+        assert report.setup_latency_us.count > 0
+        # Wall spans carry real (positive) durations, unlike sim spans.
+        assert any(r.duration > 0 for r in report.wall_spans)
+
+    def test_detached_session_spans_excluded(self):
+        # Session spans measure sim lifetimes; their wall extent would
+        # swamp the hot-path attribution, so the profiler skips them.
+        _, report = profile_run(tiny_config())
+        assert all(r.name != "session" for r in report.wall_spans)
+
+    def test_throughput_counters(self):
+        result, report = profile_run(tiny_config())
+        t = report.throughput
+        assert set(t) == {
+            "requests_per_sec", "lookups_per_sec", "probes_per_sec"
+        }
+        assert t["requests_per_sec"] > 0
+        assert t["lookups_per_sec"] > 0
+        assert t["requests_per_sec"] == pytest.approx(
+            result.n_requests / result.wall_seconds
+        )
+
+
+class TestProfileReport:
+    def test_render_mentions_every_section(self):
+        _, report = profile_run(tiny_config())
+        text = report.render()
+        assert "wall clock:" in text
+        assert "requests_per_sec" in text
+        assert "request setup latency" in text
+        assert "'request' trees" in text
+
+    def test_latency_percentiles_ordered(self):
+        _, report = profile_run(tiny_config())
+        p = report.latency_percentiles()
+        assert p["p50"] <= p["p95"] <= p["p99"] <= p["max"]
+
+    def test_trace_export_round_trips(self):
+        _, report = profile_run(tiny_config())
+        buf = io.StringIO()
+        n = report.export_trace_jsonl(buf)
+        assert n == len(report.wall_spans)
+        buf.seek(0)
+        records, unit = load_jsonl_spans(buf)
+        assert unit == "s"
+        assert len(records) == n
+        assert {r.name for r in records} == {
+            r.name for r in report.wall_spans
+        }
+
+    def test_cprofile_report_attached(self):
+        _, report = profile_run(tiny_config(), cprofile=True, top=5)
+        assert report.cprofile_text
+        assert "cumulative" in report.cprofile_text
+
+
+class TestNonInterference:
+    """Profiling must not perturb the deterministic telemetry stream."""
+
+    def export(self, profiled: bool) -> str:
+        buf = io.StringIO()
+        config = tiny_config(seed=7, telemetry=True).with_telemetry(buf)
+        if profiled:
+            profile_run(config)
+        else:
+            run_experiment(config)
+        return buf.getvalue()
+
+    def test_telemetry_jsonl_byte_identical_under_profiling(self):
+        assert self.export(profiled=False) == self.export(profiled=True)
+
+    def test_result_psi_unchanged_under_profiling(self):
+        plain = run_experiment(tiny_config(seed=3))
+        profiled, _ = profile_run(tiny_config(seed=3))
+        assert plain.success_ratio == profiled.success_ratio
+        assert plain.n_requests == profiled.n_requests

@@ -1,0 +1,51 @@
+"""The bench ordering map must cover exactly the benches on disk.
+
+``benchmarks/conftest.py`` sorts bench modules via ``BENCH_ORDER``; a
+module missing from the map silently sorts last (key 99), which is how
+``bench_flash_crowd`` and ``bench_latency_aware`` drifted out of order.
+This test pins map <-> disk equivalence so the drift cannot recur.
+"""
+
+import importlib.util
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def load_bench_conftest():
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest_under_test", BENCH_DIR / "conftest.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def bench_modules_on_disk():
+    return {p.stem for p in BENCH_DIR.glob("bench_*.py")}
+
+
+class TestBenchOrderMap:
+    def test_every_bench_file_is_ordered(self):
+        order = load_bench_conftest().BENCH_ORDER
+        on_disk = bench_modules_on_disk()
+        assert on_disk, "no bench modules found -- wrong directory?"
+        missing = on_disk - set(order)
+        assert not missing, (
+            f"bench modules missing from BENCH_ORDER (they would silently "
+            f"sort last): {sorted(missing)}"
+        )
+
+    def test_no_stale_entries(self):
+        order = load_bench_conftest().BENCH_ORDER
+        stale = set(order) - bench_modules_on_disk()
+        assert not stale, f"BENCH_ORDER names deleted benches: {sorted(stale)}"
+
+    def test_order_keys_are_unique_ranks(self):
+        order = load_bench_conftest().BENCH_ORDER
+        ranks = list(order.values())
+        assert len(ranks) == len(set(ranks)), "duplicate ordering ranks"
+        assert all(rank < 99 for rank in ranks), (
+            "rank 99 is the unregistered-module sentinel; keep explicit "
+            "ranks below it"
+        )

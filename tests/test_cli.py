@@ -106,3 +106,95 @@ class TestCommands:
 
     def test_telemetry_summary_missing_file(self, capsys, tmp_path):
         assert main(["telemetry", "summary", str(tmp_path / "nope")]) == 1
+
+
+class TestTraceCommands:
+    @pytest.fixture
+    def telemetry_export(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        path = tmp_path / "events.jsonl"
+        main(["run", "--rate", "10", "--horizon", "2",
+              "--telemetry", str(path)])
+        return path
+
+    def test_tree(self, capsys, telemetry_export):
+        capsys.readouterr()
+        assert main(["trace", "tree", str(telemetry_export)]) == 0
+        out = capsys.readouterr().out
+        assert "request" in out
+
+    def test_critical_path_on_sim_stream(self, capsys, telemetry_export):
+        capsys.readouterr()
+        assert main(["trace", "critical-path", str(telemetry_export)]) == 0
+        out = capsys.readouterr().out
+        assert "sim minutes" in out
+        assert "'request' trees" in out
+
+    def test_flame_to_file(self, capsys, telemetry_export, tmp_path):
+        capsys.readouterr()
+        out_path = tmp_path / "flame.folded"
+        assert main(["trace", "flame", str(telemetry_export),
+                     "--out", str(out_path)]) == 0
+        lines = out_path.read_text().strip().splitlines()
+        assert lines
+        for line in lines:
+            stack, _, weight = line.rpartition(" ")
+            assert stack and weight.isdigit()
+
+    def test_missing_file(self, capsys, tmp_path):
+        assert main(["trace", "tree", str(tmp_path / "nope.jsonl")]) == 1
+
+    def test_no_spans_in_stream(self, capsys, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text('{"t": 0.0, "seq": 0, "event": "lookup.done"}\n')
+        assert main(["trace", "tree", str(path)]) == 1
+
+
+class TestProfileCommand:
+    def test_profile_run_with_trace_out(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        trace = tmp_path / "prof.jsonl"
+        assert main(["profile", "run", "--rate", "10", "--horizon", "2",
+                     "--trace-out", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "wall clock:" in out
+        assert "requests_per_sec" in out
+        assert trace.exists()
+        capsys.readouterr()
+        # The exported trace feeds the same analytics commands.
+        assert main(["trace", "critical-path", str(trace)]) == 0
+        assert "wall seconds" in capsys.readouterr().out
+
+
+class TestPerfCommands:
+    def test_scenarios_listing(self, capsys):
+        assert main(["perf", "scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "baseline" in out
+
+    def test_record_unknown_scenario(self, capsys):
+        assert main(["perf", "record", "--scenarios", "bogus"]) == 1
+
+    def test_record_and_compare(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        old = tmp_path / "BENCH_old.json"
+        assert main(["perf", "record", "--scenarios", "smoke",
+                     "--out", str(old)]) == 0
+        capsys.readouterr()
+        assert main(["perf", "compare", str(old), str(old)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+        import json
+        doc = json.loads(old.read_text())
+        doc["scenarios"]["smoke"]["throughput"]["requests_per_sec"] *= 0.3
+        regressed = tmp_path / "BENCH_new.json"
+        regressed.write_text(json.dumps(doc))
+        assert main(["perf", "compare", str(old), str(regressed)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        # --warn-only reports but does not fail (the CI mode).
+        assert main(["perf", "compare", str(old), str(regressed),
+                     "--warn-only"]) == 0
+
+    def test_compare_missing_file(self, capsys, tmp_path):
+        assert main(["perf", "compare", str(tmp_path / "a.json"),
+                     str(tmp_path / "b.json")]) == 1
