@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core.composition import ComposedPath, CompositionError, compose_qcs
 from repro.core.qos import QoSVector
+from repro.lookup.cache import CacheStats, trim_mapping
 from repro.core.resources import WeightProfile
 from repro.core.selection import PeerSelector, PhiWeights
 from repro.lookup.registry import ServiceRegistry
@@ -99,6 +100,12 @@ class BaseAggregator:
     #: factory only when telemetry is *enabled* (request spans, QCS
     #: instrumentation, admission-reject counters).
     telemetry = None
+    #: Running random-fallback count for the request being aggregated.
+    #: Strategies that can fall back (QSA's selector) reset and increment
+    #: it; the pipeline copies it into every :class:`AggregationResult`
+    #: at construction, which is the single source of truth the
+    #: ``request.setup`` event reports.
+    _fallbacks = 0
 
     def __init__(
         self,
@@ -161,7 +168,7 @@ class BaseAggregator:
                 status=result.status.value,
                 admitted=result.admitted,
                 lookup_hops=result.lookup_hops,
-                random_fallbacks=getattr(self, "_fallbacks", 0),
+                random_fallbacks=result.random_fallbacks,
                 arrival_time=req.arrival_time,
                 duration=req.session_duration,
             )
@@ -203,12 +210,28 @@ class BaseAggregator:
             ))
 
         # Host discovery, selection order (user-adjacent instance first).
+        # A composed path may repeat an instance; with the fast paths on,
+        # repeats are served from the first answer (accounting replayed
+        # by the registry so hop totals and telemetry stay identical).
+        dedupe = getattr(self.registry, "cache_active", False)
+        host_memo: Dict[str, Tuple] = {}
         hosts_selection_order: List[List[int]] = []
         with tracer.span("lookup.hosts", instances=len(composed.instances)):
             for inst in reversed(composed.instances):
-                host_set, h = self.registry.discover_hosts(
-                    inst.instance_id, request.peer_id
-                )
+                cached = host_memo.get(inst.instance_id) if dedupe else None
+                if cached is None:
+                    host_set, h = self.registry.discover_hosts(
+                        inst.instance_id, request.peer_id
+                    )
+                    if dedupe:
+                        host_memo[inst.instance_id] = (host_set, h)
+                else:
+                    host_set, h = cached
+                    self.registry.replay_discovery(
+                        self.registry.INSTANCE_PREFIX + inst.instance_id,
+                        request.peer_id,
+                        h,
+                    )
                 hops += h
                 hosts_selection_order.append(sorted(host_set))
 
@@ -219,6 +242,7 @@ class BaseAggregator:
                 AggregationStatus.SELECTION_FAILED,
                 composed=composed,
                 lookup_hops=hops,
+                random_fallbacks=self._fallbacks,
             ))
 
         try:
@@ -240,7 +264,8 @@ class BaseAggregator:
                     "session.admission_rejected"
                 ).inc()
             return self._trace(AggregationResult(
-                request, status, composed=composed, peers=peers, lookup_hops=hops
+                request, status, composed=composed, peers=peers,
+                lookup_hops=hops, random_fallbacks=self._fallbacks,
             ))
 
         return self._trace(AggregationResult(
@@ -250,6 +275,7 @@ class BaseAggregator:
             composed=composed,
             peers=peers,
             lookup_hops=hops,
+            random_fallbacks=self._fallbacks,
         ))
 
 
@@ -257,6 +283,10 @@ class QSAAggregator(BaseAggregator):
     """The paper's algorithm: QCS composition + Φ/uptime peer selection."""
 
     name = "qsa"
+    #: Size caps for the composition memos (insertion-order eviction,
+    #: enforced between compositions so the edge loop stays a plain dict).
+    EDGE_CACHE_CAP = 1 << 16
+    COST_CACHE_CAP = 1 << 16
 
     def __init__(
         self,
@@ -280,21 +310,50 @@ class QSAAggregator(BaseAggregator):
         )
         # Instance-pair consistency and edge costs are catalog-immutable;
         # memoizing them across requests removes the dominant cost of
-        # graph construction (profiling notes in DESIGN.md).
+        # graph construction (profiling notes in DESIGN.md).  Both memos
+        # are bounded: compose() trims them to the *_CACHE_CAP sizes.
         self._edge_cache: Dict[Tuple[str, str], bool] = {}
         self._cost_cache: Dict[str, Tuple] = {}
+        # Whole adjacency rows keyed (instance_id, predecessor service):
+        # service records are immutable after populate, so a row is valid
+        # for the life of the catalog (see ConsistencyGraph).
+        self._row_cache: Dict[Tuple[str, str], list] = {}
+        self.edge_cache_stats = CacheStats()
 
     def compose(self, path, candidates, user_qos, request) -> ComposedPath:
-        return compose_qcs(
+        edge_cache = self._edge_cache
+        before = len(edge_cache)
+        composed = compose_qcs(
             path,
             candidates,
             user_qos,
             self.composition_weights,
             method=self.composition_method,
-            edge_cache=self._edge_cache,
+            edge_cache=edge_cache,
             cost_cache=self._cost_cache,
+            row_cache=self._row_cache,
             telemetry=self.telemetry,
         )
+        # Hit/miss accounting via cache growth -- misses are exactly the
+        # pairs memoized during this build, hits the remaining non-sink
+        # pair checks -- so the edge loop itself stays uninstrumented.
+        sizes = [len(candidates.get(s) or ()) for s in path.reversed()]
+        pairs = sum(a * b for a, b in zip(sizes, sizes[1:]))
+        misses = len(edge_cache) - before
+        stats = self.edge_cache_stats
+        stats.misses += misses
+        stats.hits += pairs - misses
+        tel = self.telemetry
+        if tel is not None:
+            m = tel.metrics
+            if pairs > misses:
+                m.counter("cache.qcs_edge.hits").inc(pairs - misses)
+            if misses:
+                m.counter("cache.qcs_edge.misses").inc(misses)
+        trim_mapping(edge_cache, self.EDGE_CACHE_CAP)
+        trim_mapping(self._cost_cache, self.COST_CACHE_CAP)
+        trim_mapping(self._row_cache, self.EDGE_CACHE_CAP)
+        return composed
 
     def select_peers(
         self,
@@ -356,6 +415,8 @@ class QSAAggregator(BaseAggregator):
         self._fallbacks = 0
         self._hop_outcomes = []
         result = super().aggregate(request)
-        result.random_fallbacks = self._fallbacks
+        # random_fallbacks is set at result construction (one source of
+        # truth with the request.setup event); only the outcome trail is
+        # attached post-hoc.
         result.hop_outcomes = tuple(self._hop_outcomes)
         return result

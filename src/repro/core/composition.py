@@ -119,21 +119,29 @@ class ConsistencyGraph:
         weights: WeightProfile,
         edge_cache: Optional[Dict[Tuple[str, str], bool]] = None,
         cost_cache: Optional[Dict[str, Tuple[float, ResourceTuple]]] = None,
+        row_cache: Optional[Dict[Tuple[str, str], list]] = None,
     ) -> None:
         """``edge_cache``/``cost_cache`` memoize instance-pair consistency
         and per-instance edge costs across requests -- both are immutable
         properties of the catalog, and graph construction dominates the
-        composition profile without them.  Pass dicts owned by the
-        aggregator (caches must not outlive the catalog they describe).
+        composition profile without them.  ``row_cache`` memoizes whole
+        adjacency rows ``(instance_id, predecessor service) -> out list``:
+        service records never change after catalog populate, so a row is
+        stable for the life of the catalog (rows are shared read-only
+        across graphs -- consumers must not mutate them).  Pass dicts
+        owned by the aggregator (caches must not outlive the catalog they
+        describe).
         """
         self.path = path
         self.user_qos = user_qos
         self.weights = weights
         self._edge_cache = edge_cache
         self._cost_cache = cost_cache if cost_cache is not None else {}
+        self._row_cache = row_cache
         #: layers[k] for k >= 1: candidate instances of the k-th service
         #: from the user side.  layers[0] is a placeholder for the sink.
         self.layers: List[List[ServiceInstance]] = [[]]
+        self._services_rev: List[Optional[str]] = [None]
         for service in path.reversed():
             cands = list(candidates.get(service, ()))
             if not cands:
@@ -141,6 +149,7 @@ class ConsistencyGraph:
                     f"no candidate instances discovered for service {service!r}"
                 )
             self.layers.append(cands)
+            self._services_rev.append(service)
         self.n_layers = len(self.layers)  # sink layer + one per service
         # Adjacency: edge from node (k, i) to predecessor (k+1, j).
         self.edges: Dict[Tuple[int, int], List[Tuple[int, float, ResourceTuple]]] = {}
@@ -168,22 +177,32 @@ class ConsistencyGraph:
     def _build(self) -> None:
         """Add every consistency edge; cost = (R_pred, b_pred) per Def. 3.1."""
         edge_cache = self._edge_cache
+        row_cache = self._row_cache
         for layer in range(0, self.n_layers - 1):
             n_here = 1 if layer == 0 else len(self.layers[layer])
             preds = self.layers[layer + 1]
+            pred_service = self._services_rev[layer + 1]
             for i in range(n_here):
-                out: List[Tuple[int, float, ResourceTuple]] = []
                 if layer == 0:
                     # Sink edges depend on the per-request user QoS;
                     # never cached.
                     qin = self.user_qos
+                    out: List[Tuple[int, float, ResourceTuple]] = []
                     for j, pred in enumerate(preds):
                         if satisfies(pred.qout, qin):
                             score, cost = self._edge_cost(pred)
                             out.append((j, score, cost))
                 else:
                     cur = self.layers[layer][i]
+                    row_key = (cur.instance_id, pred_service)
+                    if row_cache is not None:
+                        row = row_cache.get(row_key)
+                        if row is not None:
+                            if row:
+                                self.edges[(layer, i)] = row
+                            continue
                     qin = cur.qin
+                    out = []
                     for j, pred in enumerate(preds):
                         if edge_cache is None:
                             ok = satisfies(pred.qout, qin)
@@ -196,6 +215,8 @@ class ConsistencyGraph:
                         if ok:
                             score, cost = self._edge_cost(pred)
                             out.append((j, score, cost))
+                    if row_cache is not None:
+                        row_cache[row_key] = out
                 if out:
                     self.edges[(layer, i)] = out
 
@@ -213,23 +234,26 @@ def _shortest_dp(
     graph: ConsistencyGraph,
 ) -> Optional[Tuple[List[int], float, ResourceTuple]]:
     """Layer-by-layer DP sweep (the DAG fast path)."""
-    # dist[(layer, i)] = (score, tuple, predecessor index in layer-1 sense)
-    zero = ResourceTuple.zero(graph.weights.resource_names)
-    dist: Dict[Tuple[int, int], Tuple[float, ResourceTuple, Optional[int]]] = {
-        (0, 0): (0.0, zero, None)
+    # dist[(layer, i)] = (score, predecessor index in layer-1 sense).
+    # Only scores drive the relaxations; the accumulated resource tuple
+    # is recomputed once along the chosen path by _extract.
+    dist: Dict[Tuple[int, int], Tuple[float, Optional[int]]] = {
+        (0, 0): (0.0, None)
     }
+    edges = graph.edges
     for layer in range(0, graph.n_layers - 1):
         n_here = 1 if layer == 0 else len(graph.layers[layer])
+        next_layer = layer + 1
         for i in range(n_here):
             here = dist.get((layer, i))
             if here is None:
                 continue
-            score_here, tuple_here, _ = here
-            for j, edge_score, edge_tuple in graph.edges.get((layer, i), ()):
+            score_here = here[0]
+            for j, edge_score, _edge_tuple in edges.get((layer, i), ()):
                 cand = score_here + edge_score
-                existing = dist.get((layer + 1, j))
+                existing = dist.get((next_layer, j))
                 if existing is None or cand < existing[0]:
-                    dist[(layer + 1, j)] = (cand, tuple_here + edge_tuple, i)
+                    dist[(next_layer, j)] = (cand, i)
     return _extract(graph, dist)
 
 
@@ -237,9 +261,8 @@ def _shortest_dijkstra(
     graph: ConsistencyGraph,
 ) -> Optional[Tuple[List[int], float, ResourceTuple]]:
     """Dijkstra from the sink, as §3.2 prescribes."""
-    zero = ResourceTuple.zero(graph.weights.resource_names)
-    dist: Dict[Tuple[int, int], Tuple[float, ResourceTuple, Optional[int]]] = {
-        (0, 0): (0.0, zero, None)
+    dist: Dict[Tuple[int, int], Tuple[float, Optional[int]]] = {
+        (0, 0): (0.0, None)
     }
     done: set = set()
     heap: List[Tuple[float, int, int]] = [(0.0, 0, 0)]
@@ -249,27 +272,26 @@ def _shortest_dijkstra(
         if node in done:
             continue
         done.add(node)
-        _, tuple_here, _ = dist[node]
-        for j, edge_score, edge_tuple in graph.edges.get(node, ()):
+        for j, edge_score, _edge_tuple in graph.edges.get(node, ()):
             nxt = (layer + 1, j)
             if nxt in done:
                 continue
             cand = score_here + edge_score
             existing = dist.get(nxt)
             if existing is None or cand < existing[0]:
-                dist[nxt] = (cand, tuple_here + edge_tuple, i)
+                dist[nxt] = (cand, i)
                 heapq.heappush(heap, (cand, layer + 1, j))
     return _extract(graph, dist)
 
 
 def _extract(
     graph: ConsistencyGraph,
-    dist: Dict[Tuple[int, int], Tuple[float, ResourceTuple, Optional[int]]],
+    dist: Dict[Tuple[int, int], Tuple[float, Optional[int]]],
 ) -> Optional[Tuple[List[int], float, ResourceTuple]]:
     """Pick the best source-layer node and backtrack the chosen indices."""
     source_layer = graph.n_layers - 1
     best_j: Optional[int] = None
-    best: Optional[Tuple[float, ResourceTuple, Optional[int]]] = None
+    best: Optional[Tuple[float, Optional[int]]] = None
     for j in range(len(graph.layers[source_layer])):
         entry = dist.get((source_layer, j))
         if entry is not None and (best is None or entry[0] < best[0]):
@@ -282,11 +304,23 @@ def _extract(
     entry = best
     while layer >= 1:
         indices[layer - 1] = j
-        j = entry[2]
+        j = entry[1]
         layer -= 1
         if layer >= 1:
             entry = dist[(layer, j)]
-    return indices, best[0], best[1]
+    # Re-accumulate the resource tuple along the chosen path in the same
+    # zero + e1 + e2 + ... order the relaxations used to carry it, so the
+    # reported total is bit-identical to the carried spelling.
+    total = ResourceTuple.zero(graph.weights.resource_names)
+    prev_i = 0
+    for layer in range(0, source_layer):
+        nxt_j = indices[layer]
+        for j2, _edge_score, edge_tuple in graph.edges[(layer, prev_i)]:
+            if j2 == nxt_j:
+                total = total + edge_tuple
+                break
+        prev_i = nxt_j
+    return indices, best[0], total
 
 
 def compose_qcs(
@@ -297,6 +331,7 @@ def compose_qcs(
     method: str = "dp",
     edge_cache: Optional[Dict[Tuple[str, str], bool]] = None,
     cost_cache: Optional[Dict[str, Tuple[float, ResourceTuple]]] = None,
+    row_cache: Optional[Dict[Tuple[str, str], list]] = None,
     telemetry=None,
 ) -> ComposedPath:
     """Run QCS and return the QoS-consistent, resource-shortest path.
@@ -332,6 +367,7 @@ def compose_qcs(
             graph = ConsistencyGraph(
                 path, candidates, user_qos, weights,
                 edge_cache=edge_cache, cost_cache=cost_cache,
+                row_cache=row_cache,
             )
         if telemetry is not None:
             m = telemetry.metrics

@@ -43,12 +43,17 @@ class ResourceVector:
 
     def __init__(self, names: Sequence[str], values: Iterable[float]) -> None:
         self.names: Tuple[str, ...] = tuple(names)
-        self.values = np.asarray(list(values), dtype=np.float64)
+        # astype/asarray(list(...)) both yield a fresh array -- the
+        # constructor always copies so callers cannot alias our state.
+        if isinstance(values, np.ndarray):
+            self.values = values.astype(np.float64)
+        else:
+            self.values = np.asarray(list(values), dtype=np.float64)
         if self.values.shape != (len(self.names),):
             raise ValueError(
                 f"{len(self.names)} names but values of shape {self.values.shape}"
             )
-        if np.any(self.values < 0):
+        if (self.values < 0).any():
             raise ValueError(f"negative resource amounts: {self.values}")
 
     @classmethod
@@ -92,7 +97,9 @@ class ResourceVector:
     def covers(self, requirement: "ResourceVector") -> bool:
         """Component-wise ``self >= requirement`` (admission test)."""
         self._check(requirement)
-        return bool(np.all(self.values >= requirement.values))
+        # ndarray.all() over np.all(): same reduction, minus the
+        # fromnumeric dispatch wrapper (this runs per candidate per hop).
+        return bool((self.values >= requirement.values).all())
 
     def ratio_to(self, requirement: "ResourceVector") -> np.ndarray:
         """Component-wise availability/requirement ratios (Φ's ra_i/r_i)."""

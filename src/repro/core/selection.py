@@ -335,10 +335,16 @@ class PeerSelector:
             return SelectionOutcome(None, False, 0, 0)
 
         known: list[Tuple[int, PeerInfo]] = []
-        for pid in candidates:
-            info = self.view.observe(selecting_peer, pid)
-            if info is not None:
-                known.append((pid, info))
+        observe_many = getattr(self.view, "observe_many", None)
+        if observe_many is not None:
+            for pid, info in zip(candidates, observe_many(selecting_peer, candidates)):
+                if info is not None:
+                    known.append((pid, info))
+        else:
+            for pid in candidates:
+                info = self.view.observe(selecting_peer, pid)
+                if info is not None:
+                    known.append((pid, info))
 
         if not known:
             # Random fallback: the selecting peer knows nothing about any

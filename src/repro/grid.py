@@ -116,6 +116,13 @@ class GridConfig:
     telemetry: bool = False
     #: Retain at most this many bus events (None = unbounded).
     telemetry_capacity: Optional[int] = None
+    #: Discovery-plane fast paths: generation-invalidated route memos in
+    #: the DHTs, the registry's record cache + batched discovery, and the
+    #: prober's fresh-entry resolution skip.  Semantics are byte-identical
+    #: on or off (seeded telemetry exports, ψ, hop counts -- proven by the
+    #: differential test); off trades wall-clock speed for simpler
+    #: debugging.  See docs/performance.md.
+    fast_paths: bool = True
     #: Fault injection plan; ``None`` (or an empty plan) keeps every
     #: substrate operation reliable and the fast paths fault-check-free.
     faults: Optional[FaultPlan] = None
@@ -184,9 +191,11 @@ class P2PGrid:
                 f"unknown lookup protocol {config.lookup_protocol!r} "
                 "(chord/can)"
             )
+        self.ring.fast_paths = config.fast_paths
         for pid in self.directory.alive_ids:
             self.ring.join(pid)
         self.registry = ServiceRegistry(self.ring, self.catalog)
+        self.registry.fast_paths = config.fast_paths
 
         # -- tracing -----------------------------------------------------------
         self.tracer = (
@@ -207,6 +216,7 @@ class P2PGrid:
         )
         _tel = self.telemetry if config.telemetry else None
         self.ring.telemetry = _tel
+        self.registry.telemetry = _tel
 
         # -- fault injection ---------------------------------------------------
         #: One injector per run when a non-empty plan is configured; every
@@ -228,6 +238,7 @@ class P2PGrid:
             telemetry=_tel,
             injector=self.injector,
         )
+        self.probing.fast_paths = config.fast_paths
         self.session_observers: List[Callable[[Session], None]] = []
         self.ledger = SessionLedger(
             self.sim,

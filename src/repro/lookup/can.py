@@ -32,6 +32,8 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.lookup.cache import BoundedCache
+
 __all__ = ["Zone", "CanNode", "CanNetwork"]
 
 
@@ -151,6 +153,14 @@ class CanNetwork:
     #: Optional :class:`repro.telemetry.Telemetry`; set by the grid when
     #: telemetry is enabled (per-lookup hop events + histograms).
     telemetry = None
+    #: Route-cache fast path (synced with ``GridConfig.fast_paths`` by
+    #: the grid).  Unlike Chord's per-node suffix memo, CAN's greedy step
+    #: depends on the ``visited`` history, so only *whole* routes are
+    #: cacheable: ``(key, from_peer) -> (owner peer, hops)``.  Every
+    #: ``join``/``leave`` bumps :attr:`generation`, clearing the cache.
+    fast_paths = True
+    #: Route-cache entry cap ((key, from_peer) pairs; LRU beyond this).
+    ROUTE_CACHE_CAP = 1 << 16
 
     def __init__(self, dimensions: int = 2, seed: int = 0) -> None:
         if not 1 <= dimensions <= 10:
@@ -158,6 +168,9 @@ class CanNetwork:
         self.d = dimensions
         self.seed = seed
         self._nodes: Dict[int, CanNode] = {}
+        #: Membership generation (see :class:`~repro.lookup.cache.BoundedCache`).
+        self.generation = 0
+        self._route_cache = BoundedCache(self.ROUTE_CACHE_CAP)
         self.n_lookups = 0
         self.total_hops = 0
 
@@ -188,6 +201,7 @@ class CanNetwork:
         """Join at the zone containing the peer's hashed point."""
         if peer_id in self._nodes:
             raise ValueError(f"peer {peer_id} already in the CAN")
+        self.generation += 1
         if not self._nodes:
             node = CanNode(
                 peer_id, [Zone(np.zeros(self.d), np.ones(self.d))]
@@ -221,6 +235,7 @@ class CanNetwork:
         node = self._nodes.pop(peer_id, None)
         if node is None:
             raise KeyError(f"peer {peer_id} is not in the CAN")
+        self.generation += 1
         if not self._nodes:
             return  # the space empties with the last node
         touched = set()
@@ -298,6 +313,22 @@ class CanNetwork:
         """Greedy-route to the key's owner; returns ``(node, hops)``."""
         if not self._nodes:
             raise RuntimeError("CAN is empty")
+        cache = self._route_cache if self.fast_paths else None
+        if cache is not None:
+            cache.check_generation(self.generation)
+            entry = cache.get((key, from_peer))
+            if entry is not None:
+                owner, hops = entry
+                cache.stats.hits += 1
+                tel = self.telemetry
+                if tel is not None:
+                    tel.metrics.counter("cache.route.hits").inc()
+                self._account_lookup(key, from_peer, hops)
+                return self._nodes[owner], hops
+            cache.stats.misses += 1
+            tel = self.telemetry
+            if tel is not None:
+                tel.metrics.counter("cache.route.misses").inc()
         point = self.point_for_key(key)
         start = self._nodes.get(from_peer)
         hops = 0
@@ -333,6 +364,13 @@ class CanNetwork:
             current = best
             visited.add(current.peer_id)
             hops += 1
+        if cache is not None:
+            cache.put((key, from_peer), (current.peer_id, hops))
+        self._account_lookup(key, from_peer, hops)
+        return current, hops
+
+    def _account_lookup(self, key: str, from_peer: int, hops: int) -> None:
+        """Per-lookup statistics + telemetry, identical cached/uncached."""
         self.n_lookups += 1
         self.total_hops += hops
         tel = self.telemetry
@@ -343,7 +381,15 @@ class CanNetwork:
                 "lookup.done",
                 key=key, from_peer=from_peer, hops=hops, protocol="can",
             )
-        return current, hops
+
+    def note_cached_lookup(self, key: str, from_peer: int, hops: int) -> None:
+        """Replay lookup accounting for a read served from a value cache
+        (see :meth:`repro.lookup.chord.ChordRing.note_cached_lookup`)."""
+        self._account_lookup(key, from_peer, hops)
+
+    @property
+    def route_cache_stats(self):
+        return self._route_cache.stats
 
     def get(self, key: str, from_peer: int) -> Tuple[Any, int]:
         node, hops = self.lookup(key, from_peer)

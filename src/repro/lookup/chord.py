@@ -30,6 +30,8 @@ import bisect
 import hashlib
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.lookup.cache import BoundedCache
+
 __all__ = ["ChordNode", "ChordRing"]
 
 
@@ -58,6 +60,17 @@ class ChordRing:
     #: Optional :class:`repro.telemetry.Telemetry`; set by the grid when
     #: telemetry is enabled (per-lookup hop events + histograms).
     telemetry = None
+    #: Route-memo fast path (synced with ``GridConfig.fast_paths`` by the
+    #: grid).  The memo is *exact*: with a fixed membership, the greedy
+    #: finger walk's next hop is a pure function of (current node, key),
+    #: so ``(key, node) -> (remaining hops, target)`` entries reproduce
+    #: the uncached walk's hop count to the digit.  Every ``join``/
+    #: ``leave`` bumps :attr:`generation`, which clears the memo.
+    fast_paths = True
+    #: Route-memo entry cap ((key, node) pairs; LRU beyond this).
+    ROUTE_CACHE_CAP = 1 << 16
+    #: Finger-table memo cap (nodes; cleared wholesale on churn).
+    FINGER_CACHE_CAP = 1 << 14
 
     def __init__(self, bits: int = 32, seed: int = 0) -> None:
         if not 8 <= bits <= 64:
@@ -67,6 +80,17 @@ class ChordRing:
         self._ids: List[int] = []            # sorted node ids
         self._nodes: Dict[int, ChordNode] = {}  # node id -> node
         self._peer_to_id: Dict[int, int] = {}   # peer id -> node id
+        #: Ring-membership generation: bumped by every join/leave; cache
+        #: consumers (the route memo here, the registry's record cache)
+        #: treat a generation mismatch as wholesale invalidation.
+        self.generation = 0
+        self._route_cache = BoundedCache(self.ROUTE_CACHE_CAP)
+        #: Memoized finger tables (node id -> fingers, farthest first).
+        #: Fingers are derived from the current membership, so they are a
+        #: pure function of (node, generation) -- same invalidation rule
+        #: as the route memo.
+        self._finger_cache: Dict[int, List[int]] = {}
+        self._finger_gen = -1
         #: Routing statistics.
         self.n_lookups = 0
         self.total_hops = 0
@@ -107,6 +131,7 @@ class ChordRing:
         bisect.insort(self._ids, node_id)
         self._nodes[node_id] = node
         self._peer_to_id[peer_id] = node_id
+        self.generation += 1
         return node
 
     def leave(self, peer_id: int) -> None:
@@ -117,6 +142,7 @@ class ChordRing:
         node = self._nodes.pop(node_id)
         idx = bisect.bisect_left(self._ids, node_id)
         self._ids.pop(idx)
+        self.generation += 1
         if self._ids and node.store:
             successor = self._successor_node(node_id)
             successor.store.update(node.store)
@@ -171,8 +197,37 @@ class ChordRing:
             return a < x < b
         return x > a or x < b
 
+    def _fingers(self, node_id: int) -> List[int]:
+        """``node_id``'s finger targets, farthest (2^(bits-1)) first."""
+        if self._finger_gen != self.generation:
+            self._finger_cache.clear()
+            self._finger_gen = self.generation
+        fingers = self._finger_cache.get(node_id)
+        if fingers is None:
+            space = 1 << self.bits
+            fingers = [
+                self._successor_node((node_id + (1 << i)) % space).node_id
+                for i in range(self.bits - 1, -1, -1)
+            ]
+            if len(self._finger_cache) < self.FINGER_CACHE_CAP:
+                self._finger_cache[node_id] = fingers
+        return fingers
+
     def _closest_preceding(self, node_id: int, key_id: int) -> int:
         """Greedy step: the farthest finger of ``node_id`` preceding key."""
+        if self.fast_paths:
+            # Memoized fingers + the interval test inlined: this probes
+            # up to ``bits`` fingers per routing step, making it the
+            # walk's innermost loop.
+            if node_id < key_id:
+                for finger in self._fingers(node_id):
+                    if node_id < finger < key_id:
+                        return finger
+            else:
+                for finger in self._fingers(node_id):
+                    if finger > node_id or finger < key_id:
+                        return finger
+            return node_id
         space = 1 << self.bits
         for i in range(self.bits - 1, -1, -1):
             finger = self._successor_node((node_id + (1 << i)) % space).node_id
@@ -194,14 +249,51 @@ class ChordRing:
             # A peer outside the ring bootstraps through its hashed
             # position: one extra hop to whoever is responsible there.
             start_id = self._successor_node(self.node_id_for(from_peer)).node_id
+        cache = self._route_cache if self.fast_paths else None
+        if cache is not None:
+            cache.check_generation(self.generation)
+            entry = cache.get((key, start_id))
+            if entry is not None:
+                hops, target = entry
+                cache.stats.hits += 1
+                tel = self.telemetry
+                if tel is not None:
+                    tel.metrics.counter("cache.route.hits").inc()
+                self._account_lookup(key, from_peer, hops)
+                return self._nodes[target], hops
+            cache.stats.misses += 1
+            tel = self.telemetry
+            if tel is not None:
+                tel.metrics.counter("cache.route.misses").inc()
+        target, hops = self._walk(key, start_id, cache)
+        self._account_lookup(key, from_peer, hops)
+        return self._nodes[target], hops
+
+    def _walk(self, key: str, start_id: int, cache) -> Tuple[int, int]:
+        """The greedy finger walk from ``start_id``; ``(target, hops)``.
+
+        With a route memo the walk short-circuits at the first node whose
+        remaining distance is cached, and afterwards every node it
+        visited is memoized (the greedy next hop depends only on the
+        current node and the key, so the suffix distances are exact).
+        """
         key_id = self.key_id(key)
         space = 1 << self.bits
         hops = 0
         current = start_id
         target = self._responsible_id(key_id)
+        trail: List[int] = []
         # Greedy finger walk until the key falls between us and our
         # successor (then one final hop to the successor).
         while current != target:
+            if cache is not None:
+                if hops:  # the caller already probed the start node
+                    entry = cache.get((key, current))
+                    if entry is not None:
+                        hops += entry[0]
+                        current = target
+                        break
+                trail.append(current)
             succ = self._successor_node((current + 1) % space).node_id
             if succ == target and (
                 self._in_open_interval(key_id, current, succ, space)
@@ -216,6 +308,14 @@ class ChordRing:
             else:
                 current = nxt
             hops += 1
+        if cache is not None:
+            cache.put((key, target), (0, target))
+            for i, node_id in enumerate(trail):
+                cache.put((key, node_id), (hops - i, target))
+        return current, hops
+
+    def _account_lookup(self, key: str, from_peer: int, hops: int) -> None:
+        """Per-lookup statistics + telemetry, identical cached/uncached."""
         self.n_lookups += 1
         self.total_hops += hops
         tel = self.telemetry
@@ -226,7 +326,20 @@ class ChordRing:
                 "lookup.done",
                 key=key, from_peer=from_peer, hops=hops, protocol="chord",
             )
-        return self._nodes[current], hops
+
+    def note_cached_lookup(self, key: str, from_peer: int, hops: int) -> None:
+        """Account a lookup served from a value-layer cache upstream.
+
+        The registry's record cache answers a read without touching the
+        ring; this replays exactly the statistics and telemetry the
+        routed walk would have produced (same ``lookup.done`` event, same
+        hop count), keeping seeded exports byte-identical.
+        """
+        self._account_lookup(key, from_peer, hops)
+
+    @property
+    def route_cache_stats(self):
+        return self._route_cache.stats
 
     def get(self, key: str, from_peer: int) -> Tuple[Any, int]:
         """Routed read: ``(value or None, hops)``."""

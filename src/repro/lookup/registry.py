@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Protocol, Tuple
 
+from repro.lookup.cache import BoundedCache
 from repro.services.catalog import ServiceCatalog
 from repro.services.model import ServiceInstance
 
@@ -42,7 +43,13 @@ class DhtProtocol(Protocol):
 
     Satisfied by both :class:`~repro.lookup.chord.ChordRing` and
     :class:`~repro.lookup.can.CanNetwork` (the paper's "Chord or CAN").
+    ``generation``/``note_cached_lookup`` power the registry's record
+    cache; a substrate without them (checked via ``getattr``) simply
+    runs with the value-layer cache disabled.
     """
+
+    #: Membership generation, bumped by every join/leave.
+    generation: int
 
     def put(self, key: str, value: Any) -> None: ...
     def get(self, key: str, from_peer: int) -> Tuple[Any, int]: ...
@@ -50,6 +57,7 @@ class DhtProtocol(Protocol):
     def update(self, key: str, fn) -> Any: ...
     def join(self, peer_id: int): ...
     def leave(self, peer_id: int) -> None: ...
+    def note_cached_lookup(self, key: str, from_peer: int, hops: int) -> None: ...
     def __contains__(self, peer_id: int) -> bool: ...
 
 
@@ -59,13 +67,36 @@ class ServiceRegistry:
     SERVICE_PREFIX = "service:"
     INSTANCE_PREFIX = "instance:"
 
+    #: Value-layer record cache (synced with ``GridConfig.fast_paths`` by
+    #: the grid).  An entry ``(key, from_peer) -> (value, hops)`` is
+    #: valid only while *both* the ring-membership generation and the
+    #: record's per-key generation (bumped by ``peer_joined``/
+    #: ``peer_departed`` content updates) are unchanged; a hit replays
+    #: the exact hop count and ``lookup.done`` telemetry the routed walk
+    #: would have produced.  Disabled whenever a fault injector is
+    #: attached -- every routed attempt must keep drawing its fault RNG.
+    fast_paths = True
+    #: Optional :class:`repro.telemetry.Telemetry`; set by the grid (cache
+    #: and discovery counters are metrics-only, never bus events).
+    telemetry = None
+    RECORD_CACHE_CAP = 1 << 14
+
     def __init__(self, ring: DhtProtocol, catalog: ServiceCatalog) -> None:
         self.ring = ring
         self.catalog = catalog
+        #: Discovery accounting: totals plus the routed/cached split
+        #: (``n_discoveries == n_routed_discoveries + n_cached_discoveries``).
         self.n_discoveries = 0
         self.discovery_hops = 0
+        self.n_routed_discoveries = 0
+        self.n_cached_discoveries = 0
+        self.routed_discovery_hops = 0
+        self.cached_discovery_hops = 0
         self.injector = None
         self.retry = None
+        self._record_cache = BoundedCache(self.RECORD_CACHE_CAP)
+        #: Per-key content generations (missing key = generation 0).
+        self._key_gens: Dict[str, int] = {}
         self._populate()
 
     def configure_faults(self, injector, retry) -> None:
@@ -101,34 +132,121 @@ class ServiceRegistry:
                 "lookup", attempts, retry.delay(attempts, inj.rng), key=key
             )
 
+    # -- record cache (fast path) ------------------------------------------
+    @property
+    def cache_active(self) -> bool:
+        """True when reads may be served/deduped from cached values.
+
+        Requires ``fast_paths``, a substrate that exposes a membership
+        generation, and *no* fault injector -- with faults attached every
+        routed attempt draws from the fault RNG stream, which a cached
+        answer would skip (diverging the seeded fault schedule).
+        """
+        return (
+            self.fast_paths
+            and self.injector is None
+            and getattr(self.ring, "generation", None) is not None
+        )
+
+    def _cached_get(self, key: str, from_peer: int) -> Tuple[Any, int, bool]:
+        """One read, preferring the record cache: ``(value, hops, cached)``."""
+        if not self.cache_active:
+            value, hops = self._routed_get(key, from_peer)
+            return value, hops, False
+        cache = self._record_cache
+        cache.check_generation(self.ring.generation)
+        key_gen = self._key_gens.get(key, 0)
+        entry = cache.get((key, from_peer))
+        tel = self.telemetry
+        if entry is not None and entry[2] == key_gen:
+            value, hops = entry[0], entry[1]
+            cache.stats.hits += 1
+            if tel is not None:
+                tel.metrics.counter("cache.record.hits").inc()
+            # Replay the routed walk's accounting exactly (same
+            # lookup.done event, same hop count, same ring statistics).
+            self.ring.note_cached_lookup(key, from_peer, hops)
+            return value, hops, True
+        cache.stats.misses += 1
+        if tel is not None:
+            tel.metrics.counter("cache.record.misses").inc()
+        value, hops = self._routed_get(key, from_peer)
+        cache.put((key, from_peer), (value, hops, key_gen))
+        return value, hops, False
+
+    def _account_discovery(self, hops: int, cached: bool) -> None:
+        self.n_discoveries += 1
+        self.discovery_hops += hops
+        if cached:
+            self.n_cached_discoveries += 1
+            self.cached_discovery_hops += hops
+        else:
+            self.n_routed_discoveries += 1
+            self.routed_discovery_hops += hops
+        tel = self.telemetry
+        if tel is not None:
+            tel.metrics.counter(
+                "discovery.cached" if cached else "discovery.routed"
+            ).inc()
+
+    def replay_discovery(self, key: str, from_peer: int, hops: int) -> None:
+        """Account one discovery served from an upstream dedupe.
+
+        Callers (batched path discovery, the aggregator's duplicate-
+        instance dedupe) hold a value fetched moments ago in the same
+        operation; this replays the lookup telemetry and discovery
+        accounting the repeated read would have produced.  Only legal
+        while :attr:`cache_active` (the caller's dedupe must be too).
+        """
+        self.ring.note_cached_lookup(key, from_peer, hops)
+        self._account_discovery(hops, cached=True)
+
     def discover_service(
         self, service: str, from_peer: int
     ) -> Tuple[Tuple[ServiceInstance, ...], int]:
         """All candidate instances of ``service``: ``(specs, hops)``."""
-        value, hops = self._routed_get(self.SERVICE_PREFIX + service, from_peer)
-        self.n_discoveries += 1
-        self.discovery_hops += hops
+        value, hops, cached = self._cached_get(
+            self.SERVICE_PREFIX + service, from_peer
+        )
+        self._account_discovery(hops, cached)
         return (value or ()), hops
 
     def discover_hosts(
         self, instance_id: str, from_peer: int
     ) -> Tuple[FrozenSet[int], int]:
         """Peers hosting ``instance_id``: ``(host set, hops)``."""
-        value, hops = self._routed_get(
+        value, hops, cached = self._cached_get(
             self.INSTANCE_PREFIX + instance_id, from_peer
         )
-        self.n_discoveries += 1
-        self.discovery_hops += hops
+        self._account_discovery(hops, cached)
         return (value or frozenset()), hops
 
     def discover_path_candidates(
         self, services: Iterable[str], from_peer: int
     ) -> Tuple[Dict[str, Tuple[ServiceInstance, ...]], int]:
-        """One routed lookup per abstract service; total hops returned."""
+        """One routed lookup per abstract service; total hops returned.
+
+        Batched: with the fast paths active, a service repeated in the
+        path is resolved by the first lookup and the repeats are served
+        from that answer -- the query already routed to the responsible
+        node -- with per-occurrence accounting replayed so hop totals
+        and telemetry match the unbatched walks.
+        """
         out: Dict[str, Tuple[ServiceInstance, ...]] = {}
         total = 0
+        dedupe = self.cache_active
+        seen: Dict[str, int] = {}
         for service in services:
-            specs, hops = self.discover_service(service, from_peer)
+            prior_hops = seen.get(service) if dedupe else None
+            if prior_hops is None:
+                specs, hops = self.discover_service(service, from_peer)
+                if dedupe:
+                    seen[service] = hops
+            else:
+                specs, hops = out[service], prior_hops
+                self.replay_discovery(
+                    self.SERVICE_PREFIX + service, from_peer, hops
+                )
             out[service] = specs
             total += hops
         return out, total
@@ -143,6 +261,7 @@ class ServiceRegistry:
         """
         for iid in hosted:
             key = self.INSTANCE_PREFIX + iid
+            self._key_gens[key] = self._key_gens.get(key, 0) + 1
             self.ring.update(
                 key, lambda hosts: frozenset((hosts or frozenset()) - {peer_id})
             )
@@ -155,6 +274,7 @@ class ServiceRegistry:
             self.ring.join(peer_id)
         for iid in hosted:
             key = self.INSTANCE_PREFIX + iid
+            self._key_gens[key] = self._key_gens.get(key, 0) + 1
             self.ring.update(
                 key, lambda hosts: frozenset((hosts or frozenset()) | {peer_id})
             )
@@ -164,3 +284,14 @@ class ServiceRegistry:
         if self.n_discoveries == 0:
             return 0.0
         return self.discovery_hops / self.n_discoveries
+
+    @property
+    def record_cache_stats(self):
+        return self._record_cache.stats
+
+    @property
+    def discovery_cache_hit_rate(self) -> float:
+        """Fraction of discoveries served without a routed walk."""
+        if self.n_discoveries == 0:
+            return 0.0
+        return self.n_cached_discoveries / self.n_discoveries

@@ -25,6 +25,7 @@ DESIGN.md §4.
 from __future__ import annotations
 
 import hashlib
+from bisect import bisect_right
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -56,7 +57,14 @@ class PairwiseClasses:
     ``weights`` optionally skews the class distribution (e.g. towards the
     broadband classes measured for real P2P populations [17]); ``None``
     gives the uniform distribution.
+
+    ``class_index`` is a pure function of the unordered pair, so results
+    are memoized unconditionally; the memo stops growing at
+    ``MEMO_CAP`` (selection re-reads the same hot pairs, so a soft cap
+    keeps memory bounded without eviction bookkeeping).
     """
+
+    MEMO_CAP = 1 << 18
 
     def __init__(
         self,
@@ -67,26 +75,37 @@ class PairwiseClasses:
         self.seed = int(seed)
         self.n_classes = int(n_classes)
         if weights is None:
-            self._cumulative: Optional[np.ndarray] = None
+            self._cumulative: Optional[list] = None
         else:
             w = np.asarray(weights, dtype=np.float64)
             if w.shape != (n_classes,) or np.any(w < 0) or w.sum() <= 0:
                 raise ValueError(f"bad class weights {weights!r}")
-            self._cumulative = np.cumsum(w / w.sum())
+            # A plain list + bisect matches np.searchsorted(side="right")
+            # bit-for-bit while skipping numpy's scalar-call overhead.
+            self._cumulative = np.cumsum(w / w.sum()).tolist()
+        self._memo: Dict[Tuple[int, int], int] = {}
 
     def class_index(self, a: int, b: int) -> int:
         """The class index for the unordered pair ``{a, b}``."""
-        lo, hi = (a, b) if a <= b else (b, a)
+        pair = (a, b) if a <= b else (b, a)
+        memo = self._memo
+        idx = memo.get(pair)
+        if idx is not None:
+            return idx
         digest = hashlib.blake2b(
-            f"{self.seed}:{lo}:{hi}".encode(), digest_size=4
+            f"{self.seed}:{pair[0]}:{pair[1]}".encode(), digest_size=4
         ).digest()
         raw = int.from_bytes(digest, "little")
         if self._cumulative is None:
-            return raw % self.n_classes
-        u = raw / 2**32
-        return int(np.searchsorted(self._cumulative, u, side="right").clip(
-            0, self.n_classes - 1
-        ))
+            idx = raw % self.n_classes
+        else:
+            idx = min(
+                bisect_right(self._cumulative, raw / 2**32),
+                self.n_classes - 1,
+            )
+        if len(memo) < self.MEMO_CAP:
+            memo[pair] = idx
+        return idx
 
 
 class NetworkModel:
@@ -111,6 +130,8 @@ class NetworkModel:
         self._lat_hash = PairwiseClasses(seed * 2 + 2, len(self.latency_classes))
         #: Active per-pair reservations (sparse; unordered pair -> bps).
         self._reserved: Dict[Tuple[int, int], float] = {}
+        #: Combined (capacity, latency) memo for the probing hot path.
+        self._static_memo: Dict[Tuple[int, int], Tuple[float, float]] = {}
 
     # -- static pairwise properties -----------------------------------------
     @staticmethod
@@ -119,14 +140,31 @@ class NetworkModel:
 
     def pair_capacity(self, a: int, b: int) -> float:
         """The bottleneck-class capacity of the path between ``a``, ``b``."""
-        if a == b:
-            return float("inf")  # local connection
-        return self.bandwidth_classes[self._bw_hash.class_index(a, b)]
+        return self.pair_static(a, b)[0]
 
     def latency_ms(self, a: int, b: int) -> float:
+        return self.pair_static(a, b)[1]
+
+    def pair_static(self, a: int, b: int) -> Tuple[float, float]:
+        """``(pair_capacity, latency_ms)`` memoized per unordered pair.
+
+        Both values are pure functions of the pair; one combined memo
+        spares the hot paths (probing, admission) two hash walks per
+        touch.
+        """
         if a == b:
-            return 0.0
-        return self.latency_classes[self._lat_hash.class_index(a, b)]
+            return (float("inf"), 0.0)  # local connection
+        key = (a, b) if a <= b else (b, a)
+        memo = self._static_memo
+        entry = memo.get(key)
+        if entry is None:
+            entry = (
+                self.bandwidth_classes[self._bw_hash.class_index(a, b)],
+                self.latency_classes[self._lat_hash.class_index(a, b)],
+            )
+            if len(memo) < PairwiseClasses.MEMO_CAP:
+                memo[key] = entry
+        return entry
 
     # -- availability ---------------------------------------------------------
     def pair_reserved(self, a: int, b: int) -> float:

@@ -162,6 +162,22 @@ def record_bench(
             },
             "mean_lookup_hops": result.mean_lookup_hops,
             "probe_overhead": result.probe_overhead,
+            # Additive (validate_bench checks required fields only, so
+            # older documents without it stay valid): the discovery
+            # fast-path split recorded alongside the wall numbers.
+            "discovery_cache": {
+                "routed": result.n_routed_discoveries,
+                "cached": result.n_cached_discoveries,
+                "hit_rate": (
+                    result.n_cached_discoveries
+                    / (result.n_routed_discoveries
+                       + result.n_cached_discoveries)
+                    if result.n_routed_discoveries
+                    + result.n_cached_discoveries
+                    else 0.0
+                ),
+            },
+            "n_admitted": result.n_admitted,
         }
     doc = {
         "schema": BENCH_SCHEMA,
@@ -368,4 +384,12 @@ def compare_benches(
             comp.regressions.append(text)
         elif dpsi > psi_tolerance:
             comp.improvements.append(text)
+
+        cache = n.get("discovery_cache")
+        if cache is not None:
+            comp.notes.append(
+                f"{name}: discovery cache {cache['cached']}/"
+                f"{cache['cached'] + cache['routed']} hits "
+                f"({cache['hit_rate']:.1%})"
+            )
     return comp

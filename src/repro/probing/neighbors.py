@@ -20,7 +20,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 __all__ = ["NeighborEntry", "NeighborTable"]
 
 
-@dataclass
+@dataclass(slots=True)
 class NeighborEntry:
     """One (soft-state) neighbor relationship."""
 
@@ -76,22 +76,63 @@ class NeighborTable:
         the better (lower) priority of old vs. new.  Returns the number
         of entries *newly added* (refreshes are free under the budget).
         """
-        added = 0
         expires = now + ttl
+        entries = self._entries
+        # Pending inserts are staged (pid -> [priority, hop, direct]) so
+        # entries doomed by the budget are never constructed: the staged
+        # view plus the refreshed existing entries rank exactly like the
+        # insert-everything-then-evict spelling, including its stable
+        # (priority desc, expiry asc, insertion order) tie-breaks.
+        staged: Dict[int, list] = {}
         for peer_id, hop, direct in neighbors:
             if hop < 1:
                 raise ValueError(f"hop must be >= 1, got {hop}")
-            entry = self._entries.get(peer_id)
+            priority = 2 * hop + (0 if direct else 1)
+            entry = entries.get(peer_id)
             if entry is not None:
-                entry.expires_at = max(entry.expires_at, expires)
-                new = NeighborEntry(peer_id, hop, direct, entry.expires_at)
-                if new.priority < entry.priority:
+                if expires > entry.expires_at:
+                    entry.expires_at = expires
+                if priority < 2 * entry.hop + (0 if entry.direct else 1):
                     entry.hop, entry.direct = hop, direct
             else:
-                self._entries[peer_id] = NeighborEntry(peer_id, hop, direct, expires)
-                added += 1
-        if len(self._entries) > self.budget:
-            self._evict(now)
+                pending = staged.get(peer_id)
+                if pending is None:
+                    staged[peer_id] = [priority, hop, direct]
+                elif priority < pending[0]:
+                    pending[0], pending[1], pending[2] = priority, hop, direct
+        added = len(staged)
+        if len(entries) + added <= self.budget:
+            for peer_id, (_, hop, direct) in staged.items():
+                entries[peer_id] = NeighborEntry(peer_id, hop, direct, expires)
+            return added
+        # Over budget: expired entries go first (staged ones are fresh by
+        # construction), then rank the union by (priority desc, expiry
+        # asc) with insertion order -- existing entries before staged
+        # ones -- breaking ties, and keep the best ``budget``.
+        for pid in [p for p, e in entries.items() if e.expires_at < now]:
+            del entries[pid]
+        overflow = len(entries) + added - self.budget
+        if overflow <= 0:
+            for peer_id, (_, hop, direct) in staged.items():
+                entries[peer_id] = NeighborEntry(peer_id, hop, direct, expires)
+            return added
+        ranked = [
+            (-2 * e.hop - (0 if e.direct else 1), e.expires_at, i, pid)
+            for i, (pid, e) in enumerate(entries.items())
+        ]
+        base = len(ranked)
+        ranked.extend(
+            (-pending[0], expires, base + i, pid)
+            for i, (pid, pending) in enumerate(staged.items())
+        )
+        ranked.sort()
+        for _, _, i, pid in ranked[:overflow]:
+            if i < base:
+                del entries[pid]
+            else:
+                del staged[pid]
+        for peer_id, (_, hop, direct) in staged.items():
+            entries[peer_id] = NeighborEntry(peer_id, hop, direct, expires)
         return added
 
     def _evict(self, now: float) -> None:
@@ -104,13 +145,15 @@ class NeighborTable:
         if overflow <= 0:
             return
         # Pass 2: evict by (priority desc, expiry asc) -- least beneficial,
-        # then stalest.
-        victims = sorted(
-            self._entries.values(),
-            key=lambda e: (-e.priority, e.expires_at),
-        )[:overflow]
-        for e in victims:
-            del self._entries[e.peer_id]
+        # then stalest.  Sorting bare tuples (with the enumeration index
+        # reproducing the stable sort's insertion-order tie-break) skips
+        # the per-comparison key-lambda overhead of the obvious spelling.
+        ranked = sorted(
+            (-2 * e.hop - (0 if e.direct else 1), e.expires_at, i, pid)
+            for i, (pid, e) in enumerate(self._entries.items())
+        )
+        for _, _, _, pid in ranked[:overflow]:
+            del self._entries[pid]
 
     def drop(self, peer_id: int) -> None:
         self._entries.pop(peer_id, None)

@@ -99,6 +99,15 @@ class _Snapshot:
 class ProbingService:
     """Bounded-neighborhood, epoch-snapshotted performance information."""
 
+    #: Resolution fast path (synced with ``GridConfig.fast_paths`` by the
+    #: grid): :meth:`resolve_selection_hops` skips re-resolving targets
+    #: whose soft-state entries are still fresh and at least as good --
+    #: the table refresh would be a pure no-op (``expires_at`` is already
+    #: past ``now + ttl`` and the priority cannot upgrade), so table
+    #: state and all downstream selection stay bit-identical; only the
+    #: duplicate notification messages disappear.
+    fast_paths = True
+
     def __init__(
         self,
         sim: Simulator,
@@ -161,12 +170,69 @@ class ProbingService:
         (its own application), ``False`` for peers along someone else's
         path (indirect neighbors).
         """
-        triples: List[Tuple[int, int, bool]] = []
+        if not self.fast_paths:
+            triples: List[Tuple[int, int, bool]] = []
+            for i, cands in enumerate(hop_candidates):
+                hop = i + 1
+                for pid in cands:
+                    if pid != observer:
+                        triples.append((pid, hop, direct))
+            if triples:
+                self.resolve(observer, triples)
+            return
+        # Fast path.  Two exact reductions before the table sees anything:
+        # * targets whose existing soft state is fresh (expiry already
+        #   past now + ttl) and at least as good are skipped -- resolving
+        #   them again would change neither the entry nor its expiry;
+        # * new targets are merged (best priority, first position) and
+        #   only the top ``budget`` kept: a new entry outranked by
+        #   ``budget`` same-call newcomers loses the table eviction no
+        #   matter what the table holds, so it can never survive, and
+        #   dropping it cannot change which other entries do.
+        # Only the notification-message count differs from the plain path.
+        tbl = self._tables.get(observer)
+        entries = tbl._entries if tbl is not None else None
+        fresh_after = self.sim.now + self.config.ttl
+        bias = 0 if direct else 1
+        triples = []
+        staged: Dict[int, list] = {}
+        idx = 0
         for i, cands in enumerate(hop_candidates):
             hop = i + 1
+            priority = 2 * hop + bias
             for pid in cands:
-                if pid != observer:
-                    triples.append((pid, hop, direct))
+                if pid == observer:
+                    continue
+                if entries is not None:
+                    entry = entries.get(pid)
+                    if entry is not None:
+                        if not (
+                            entry.expires_at >= fresh_after
+                            and 2 * entry.hop + (0 if entry.direct else 1)
+                            <= priority
+                        ):
+                            triples.append((pid, hop, direct))
+                        continue
+                pending = staged.get(pid)
+                if pending is None:
+                    staged[pid] = [priority, idx, hop]
+                    idx += 1
+                elif priority < pending[0]:
+                    pending[0], pending[2] = priority, hop
+        budget = self.config.budget
+        if len(staged) > budget:
+            # Keep the eviction's best ``budget`` newcomers: lowest
+            # priority, latest position on ties (same-call entries share
+            # an expiry, so later insertion wins the stable tie-break).
+            ranked = [(p[0], -p[1], pid, p[2]) for pid, p in staged.items()]
+            ranked.sort()
+            kept = ranked[:budget]
+            kept.sort(key=lambda t: -t[1])  # original arrival order
+            triples.extend((pid, hop, direct) for _, _, pid, hop in kept)
+        else:
+            triples.extend(
+                (pid, p[2], direct) for pid, p in staged.items()
+            )
         if triples:
             self.resolve(observer, triples)
 
@@ -295,6 +361,74 @@ class ProbingService:
             uptime=snap.uptime,
             latency=self.network.latency_ms(target, observer),
         )
+
+    def observe_many(
+        self, observer: int, targets: Sequence[int]
+    ) -> List[Optional[PeerInfo]]:
+        """Batched :meth:`observe` over one observer's candidate list.
+
+        Produces exactly ``[observe(observer, t) for t in targets]`` --
+        selection's per-hop fan-out is the hottest call site, so the
+        per-observer work (table lookup, downlink residual, resource
+        names) is hoisted out of the loop.  Falls back to the scalar
+        path under fault injection, where per-target injector draws must
+        happen in the scalar order.
+        """
+        if self.injector is not None:
+            return [self.observe(observer, t) for t in targets]
+        tbl = self._tables.get(observer)
+        if tbl is None:
+            return [None] * len(targets)
+        now = self.sim.now
+        entries = tbl._entries
+        observer_peer = self.directory.get(observer)
+        observer_down = (
+            observer_peer.avail_down if observer_peer is not None else float("inf")
+        )
+        resource_names = self.directory.resource_names
+        network = self.network
+        snapshots = self._snapshots
+        # Injector-free departures always pass through drop_peer(), which
+        # pops the snapshot -- so an epoch-fresh snapshot implies a live
+        # peer and the directory re-check can be skipped inline.
+        epoch = int(now / self.config.period)
+        out: List[Optional[PeerInfo]] = []
+        for target in targets:
+            entry = entries.get(target)
+            if entry is None:
+                out.append(None)
+                continue
+            if entry.expires_at < now:
+                del entries[target]
+                out.append(None)
+                continue
+            snap = snapshots.get(target)
+            if snap is None or snap.epoch != epoch:
+                snap = self._snapshot(target)
+                if snap is None:
+                    tbl.drop(target)  # probe discovered the departure
+                    snapshots.pop(target, None)
+                    out.append(None)
+                    continue
+            capacity, latency = network.pair_static(target, observer)
+            beta = capacity - network.pair_reserved(target, observer)
+            if snap.avail_up < beta:
+                beta = snap.avail_up
+            if observer_down < beta:
+                beta = observer_down
+            if beta < 0.0:
+                beta = 0.0
+            availability = ResourceVector.__new__(ResourceVector)
+            availability.names = resource_names
+            availability.values = snap.availability
+            out.append(PeerInfo(
+                peer_id=target,
+                availability=availability,
+                bandwidth_to_observer=beta,
+                uptime=snap.uptime,
+                latency=latency,
+            ))
+        return out
 
     # -- overhead metrics ------------------------------------------------------
     def overhead_ratio(self) -> float:

@@ -39,7 +39,7 @@ from typing import (
 __all__ = ["BusEvent", "EventBus"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BusEvent:
     """One named, timestamped occurrence on the bus.
 
@@ -119,6 +119,26 @@ class EventBus:
 
         The event name is positional-only so payloads may themselves
         carry a ``name`` field (``span`` events do).
+        """
+        event = BusEvent(self._clock(), self._seq, name, fields)
+        self._seq += 1
+        self.n_emitted += 1
+        if self._record:
+            self._events.append(event)
+        subs = self._subscribers
+        if subs:
+            for fn in subs.get(name, ()):
+                fn(event)
+            for fn in subs.get("*", ()):
+                fn(event)
+        return event
+
+    def emit_event(self, name: str, fields: Dict[str, Any]) -> BusEvent:
+        """:meth:`emit` with a pre-built fields dict.
+
+        High-volume emitters (the span tracer) assemble their payload
+        once and hand over ownership of ``fields`` instead of paying a
+        kwargs repack per event.
         """
         event = BusEvent(self._clock(), self._seq, name, fields)
         self._seq += 1

@@ -97,6 +97,14 @@ METRIC_CATALOG: Dict[str, tuple] = {
     "probe.tables": ("gauge", "neighbor tables currently materialized"),
     "lookup.count": ("counter", "routed DHT lookups"),
     "lookup.hops": ("histogram", "application-level hops per lookup"),
+    "cache.route.hits": ("counter", "ring lookups answered at the start node"),
+    "cache.route.misses": ("counter", "ring lookups that walked the overlay"),
+    "cache.record.hits": ("counter", "registry reads served from the record cache"),
+    "cache.record.misses": ("counter", "registry reads that routed to the DHT"),
+    "cache.qcs_edge.hits": ("counter", "QCS consistency edges reused across compositions"),
+    "cache.qcs_edge.misses": ("counter", "QCS consistency edges computed fresh"),
+    "discovery.routed": ("counter", "discoveries that paid a routed walk"),
+    "discovery.cached": ("counter", "discoveries served from cache/dedupe"),
     "session.admitted": ("counter", "sessions admitted"),
     "session.completed": ("counter", "sessions completed"),
     "session.failed": ("counter", "sessions failed"),

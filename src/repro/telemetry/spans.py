@@ -149,15 +149,17 @@ class SpanTracer:
         agg[1] += wall_end - span._wall_start
         for fn in self._wall_observers:
             fn(span, span._wall_start, wall_end)
-        self._bus.emit(
-            "span",
-            name=span.name,
-            id=span.span_id,
-            parent=span.parent_id,
-            start=span.sim_start,
-            **span.fields,
-            **extra,
-        )
+        fields = {
+            "name": span.name,
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "start": span.sim_start,
+        }
+        if span.fields:
+            fields.update(span.fields)
+        if extra:
+            fields.update(extra)
+        self._bus.emit_event("span", fields)
 
     # -- wall-clock summary (in-process only; never exported) ----------------
     def add_wall_observer(

@@ -1,0 +1,96 @@
+"""Differential proof for the discovery-plane fast paths.
+
+The caches' contract is *exactness*: with ``GridConfig.fast_paths`` on,
+every simulated observable -- admission decisions, ψ, lookup hop counts,
+the full telemetry event stream -- must be byte-identical to a run with
+the fast paths off.  Only wall-clock (and the cache hit counters, which
+are metrics-only) may differ.
+
+The telemetry JSONL export is the strongest single check: it serializes
+every ``request.setup`` event (status, peers, lookup hops, fallbacks)
+and every ``lookup.done`` / ``session.*`` / ``span`` event in emission
+order, so byte-equality of the exports implies identical per-request
+AggregationResult streams and identical event interleaving.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.grid import GridConfig
+from repro.network.churn import ChurnConfig
+from repro.probing.prober import ProbingConfig
+from repro.workload.generator import WorkloadConfig
+
+
+def _config(fast, protocol="chord", churn_rate=0.0, export=None):
+    return ExperimentConfig(
+        grid=GridConfig(
+            n_peers=250,
+            probing=ProbingConfig(budget=10),
+            churn=(ChurnConfig(rate_per_min=churn_rate)
+                   if churn_rate > 0 else None),
+            lookup_protocol=protocol,
+            seed=3,
+            fast_paths=fast,
+        ),
+        workload=WorkloadConfig(
+            rate_per_min=40.0, horizon=8.0, duration_range=(1.0, 6.0)
+        ),
+        drain_minutes=10.0,
+        telemetry_export=export,
+    )
+
+
+def _run_pair(tmp_path, **kwargs):
+    exports = {}
+    results = {}
+    for fast in (True, False):
+        path = tmp_path / f"fast_{fast}.jsonl"
+        config = _config(fast, export=str(path), **kwargs)
+        results[fast] = run_experiment(config)
+        exports[fast] = path.read_bytes()
+    return results, exports
+
+
+def _assert_equivalent(results, exports):
+    on, off = results[True], results[False]
+    # Identical simulated behaviour ...
+    assert exports[True] == exports[False]
+    assert on.n_requests == off.n_requests
+    assert on.success_ratio == off.success_ratio
+    assert on.mean_lookup_hops == off.mean_lookup_hops
+    assert on.n_admitted == off.n_admitted
+    assert on.probe_overhead == off.probe_overhead
+    assert on.metrics.breakdown() == off.metrics.breakdown()
+    assert (on.n_routed_discoveries + on.n_cached_discoveries
+            == off.n_routed_discoveries + off.n_cached_discoveries)
+    # ... while the fast run actually exercised the caches and the slow
+    # run never touched them.
+    assert on.n_cached_discoveries > 0
+    assert off.n_cached_discoveries == 0
+
+
+@pytest.mark.parametrize("protocol", ["chord", "can"])
+def test_fast_paths_differential(tmp_path, protocol):
+    results, exports = _run_pair(tmp_path, protocol=protocol)
+    _assert_equivalent(results, exports)
+
+
+def test_fast_paths_differential_under_churn(tmp_path):
+    results, exports = _run_pair(tmp_path, churn_rate=5.0)
+    _assert_equivalent(results, exports)
+    assert results[True].n_departures > 0  # churn actually happened
+
+
+def test_fast_paths_flag_round_trips_through_grid():
+    from repro.grid import P2PGrid
+
+    fast = P2PGrid(_config(True).grid)
+    slow = P2PGrid(_config(False).grid)
+    assert fast.registry.cache_active
+    assert not slow.registry.cache_active
+    assert fast.ring.fast_paths and not slow.ring.fast_paths
+    assert fast.probing.fast_paths and not slow.probing.fast_paths

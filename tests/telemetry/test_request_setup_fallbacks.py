@@ -1,0 +1,40 @@
+"""Regression: ``request.setup`` must report the result's fallback count.
+
+The event used to read a stale ``self._fallbacks`` snapshot via getattr,
+which could disagree with ``AggregationResult.random_fallbacks`` (the
+single source of truth the metrics layer and explain tooling use).
+"""
+
+from repro.grid import GridConfig, P2PGrid
+from repro.probing.prober import ProbingConfig
+
+
+def _drive(grid, n=25):
+    agg = grid.make_aggregator("qsa")
+    events = []
+    grid.telemetry.bus.subscribe("request.setup", events.append)
+    results = []
+    for _ in range(n):
+        req = grid.make_request("video-on-demand", qos_level="average",
+                                duration=3.0)
+        results.append(agg.aggregate(req))
+    assert len(events) == len(results)
+    return events, results
+
+
+def test_request_setup_event_matches_result_fallbacks():
+    grid = P2PGrid(GridConfig(n_peers=150, seed=11, telemetry=True))
+    for event, result in zip(*_drive(grid)):
+        assert event.fields["random_fallbacks"] == result.random_fallbacks
+
+
+def test_fallback_counts_propagate_when_nonzero():
+    # A zero probe budget keeps every neighbor table empty, so every
+    # selected hop is a random fallback -- the comparison above cannot be
+    # vacuously matching zeros here.
+    grid = P2PGrid(GridConfig(n_peers=150, seed=11, telemetry=True,
+                              probing=ProbingConfig(budget=0)))
+    events, results = _drive(grid)
+    for event, result in zip(events, results):
+        assert event.fields["random_fallbacks"] == result.random_fallbacks
+    assert any(r.random_fallbacks > 0 for r in results)
