@@ -4,13 +4,25 @@ PYTHON ?= python
 
 .PHONY: install test test-log bench bench-log bench-paper figures \
         figures-quick examples coverage clean profile perf-record \
-        perf-check
+        perf-check lint
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Project invariants (repro lint) always run; ruff/mypy run when
+# installed (the pinned dev container ships neither) and their
+# failures still fail the target.
+lint:
+	$(PYTHON) -m repro lint src tests
+	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
+		$(PYTHON) -m ruff check src tests || exit 1; \
+	else echo "ruff not installed; skipping (CI runs it)"; fi
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy src/repro || exit 1; \
+	else echo "mypy not installed; skipping (CI runs it)"; fi
 
 test-log:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

@@ -1,0 +1,415 @@
+"""The lint engine: file discovery, pragmas, parallel scan, reporting.
+
+The engine is deliberately small -- all invariant knowledge lives in
+the rules (:mod:`repro.analysis.rules`); the engine only
+
+* discovers ``*.py`` files under the requested paths,
+* parses each file once and hands the AST to every applicable rule,
+* honours ``# lint: disable=RULE`` pragmas (line) and
+  ``# lint: disable-file=RULE`` pragmas (whole file),
+* fans the per-file scans out over a process pool (parsing dominates,
+  and the workers share nothing), and
+* merges per-file *contributions* for the cross-file ``finalize`` pass
+  (TEL001's two-way dead-event check needs every emit site at once).
+
+Exit-code contract (the CLI's and CI's interface): 0 clean, 1 findings,
+2 bad invocation.  Output is deterministic -- findings sort by
+``(path, line, col, rule)`` regardless of worker scheduling.
+
+Pragma syntax::
+
+    x = time.time()  # lint: disable=DET001 -- wall time is display-only
+    # lint: disable-file=DET003 -- this whole module is offline tooling
+
+Everything after ``--`` is the (strongly encouraged) justification.
+``disable=all`` suppresses every rule on the line.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "ProjectState",
+    "LintReport",
+    "iter_python_files",
+    "lint_paths",
+    "PARSE_RULE_ID",
+]
+
+#: Rule id attached to files the engine cannot parse.
+PARSE_RULE_ID = "E000"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*lint:\s*(?P<kind>disable|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class FileContext:
+    """One parsed file plus the helpers every rule needs."""
+
+    def __init__(self, path: Path, rel: str, source: str,
+                 tree: ast.Module) -> None:
+        self.path = path
+        #: Path as reported in findings (relative to the CWD when under it).
+        self.rel = rel
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        parts = path.resolve().parts
+        self.parts = parts
+        #: Posix path *inside* the repro package ("sim/rng.py",
+        #: "telemetry/catalog.py", ...) or None outside it.  Uses the
+        #: last "repro" path component so a checkout directory named
+        #: "repro" does not confuse the scoping.
+        self.pkg: Optional[str] = None
+        for i in range(len(parts) - 1, -1, -1):
+            if parts[i] == "repro":
+                if i + 1 < len(parts):
+                    self.pkg = "/".join(parts[i + 1:])
+                break
+        self.is_tests = "tests" in parts
+        self.is_benchmarks = "benchmarks" in parts
+        #: key -> list payloads merged across files for Rule.finalize.
+        self.contributions: Dict[str, List[Any]] = {}
+        self._import_maps: Optional[Tuple[Dict[str, str], Dict[str, str]]] = None
+
+    # -- rule conveniences -------------------------------------------------
+    def walk(self, *types: Type[ast.AST]) -> Iterator[ast.AST]:
+        for node in ast.walk(self.tree):
+            if not types or isinstance(node, types):
+                yield node
+
+    def finding(self, rule: Any, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=self.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule.id,
+            message=message,
+        )
+
+    def contribute(self, key: str, payload: Any) -> None:
+        """Record a (picklable) payload for the whole-scan finalize pass."""
+        self.contributions.setdefault(key, []).append(payload)
+
+    @staticmethod
+    def attr_chain(node: ast.AST) -> Tuple[str, ...]:
+        """``self.telemetry.bus.emit`` -> ("self", "telemetry", "bus", "emit").
+
+        Returns () when the expression is not a plain name/attribute
+        chain (a call result, a subscript, ...).
+        """
+        names: List[str] = []
+        while isinstance(node, ast.Attribute):
+            names.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+            return tuple(reversed(names))
+        return ()
+
+    def call_chain(self, call: ast.Call) -> Tuple[str, ...]:
+        return self.attr_chain(call.func)
+
+    @property
+    def imports(self) -> Dict[str, str]:
+        """Local alias -> imported module ("np" -> "numpy")."""
+        return self._imports()[0]
+
+    @property
+    def imported_names(self) -> Dict[str, str]:
+        """Local name -> "module.name" for ``from module import name``."""
+        return self._imports()[1]
+
+    def _imports(self) -> Tuple[Dict[str, str], Dict[str, str]]:
+        if self._import_maps is None:
+            modules: Dict[str, str] = {}
+            names: Dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        local = alias.asname or alias.name.split(".")[0]
+                        modules[local] = alias.name
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    for alias in node.names:
+                        local = alias.asname or alias.name
+                        names[local] = f"{node.module}.{alias.name}"
+            self._import_maps = (modules, names)
+        return self._import_maps
+
+
+class ProjectState:
+    """What ``Rule.finalize`` sees: the merged per-file contributions."""
+
+    def __init__(self) -> None:
+        self.contributions: Dict[str, List[Any]] = {}
+        #: Every scanned file's ``FileContext.pkg`` (None entries dropped).
+        self.scanned_pkgs: Set[str] = set()
+
+    def merge(self, contributions: Dict[str, List[Any]],
+              pkg: Optional[str]) -> None:
+        for key, payloads in contributions.items():
+            self.contributions.setdefault(key, []).extend(payloads)
+        if pkg is not None:
+            self.scanned_pkgs.add(pkg)
+
+
+# -- pragmas ---------------------------------------------------------------
+
+def _parse_pragmas(lines: Sequence[str]) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """``(line -> suppressed rule ids, file-wide suppressed rule ids)``.
+
+    Only comment text is inspected; a pragma inside a string literal on
+    a line with a ``#`` would be caught too, which is acceptable for a
+    linter that errs towards silence only when explicitly asked.
+    """
+    per_line: Dict[int, Set[str]] = {}
+    per_file: Set[str] = set()
+    for lineno, text in enumerate(lines, start=1):
+        if "#" not in text or "lint:" not in text:
+            continue
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = {r.strip() for r in match.group("rules").split(",")}
+        if match.group("kind") == "disable-file":
+            per_file |= rules
+        else:
+            per_line.setdefault(lineno, set()).update(rules)
+    return per_line, per_file
+
+
+def _suppressed(finding: Finding, per_line: Dict[int, Set[str]],
+                per_file: Set[str]) -> bool:
+    if finding.rule in per_file or "all" in per_file:
+        return True
+    rules = per_line.get(finding.line)
+    return rules is not None and (finding.rule in rules or "all" in rules)
+
+
+# -- discovery -------------------------------------------------------------
+
+def iter_python_files(paths: Sequence[Any]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: Set[Path] = set()
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(
+                p for p in path.rglob("*.py")
+                if not _SKIP_DIRS.intersection(p.parts)
+            )
+        else:
+            candidates = [path]
+        for p in candidates:
+            key = p.resolve()
+            if key not in seen:
+                seen.add(key)
+                out.append(p)
+    return out
+
+
+def _relative_label(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+# -- per-file scan ---------------------------------------------------------
+
+def _scan_one(
+    path_str: str, select: Optional[frozenset]
+) -> Tuple[List[Finding], int, Dict[str, List[Any]], Optional[str]]:
+    """Scan one file: ``(findings, n_suppressed, contributions, pkg)``."""
+    from repro.analysis.registry import all_rules
+
+    path = Path(path_str)
+    rel = _relative_label(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError) as exc:
+        finding = Finding(path=rel, line=getattr(exc, "lineno", 1) or 1,
+                          col=0, rule=PARSE_RULE_ID,
+                          message=f"cannot parse file: {exc}")
+        return [finding], 0, {}, None
+
+    ctx = FileContext(path, rel, source, tree)
+    per_line, per_file = _parse_pragmas(ctx.lines)
+    findings: List[Finding] = []
+    suppressed = 0
+    for rule in all_rules():
+        if select is not None and rule.id not in select:
+            continue
+        if not rule.applies(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if _suppressed(finding, per_line, per_file):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    return findings, suppressed, ctx.contributions, ctx.pkg
+
+
+# -- reports ---------------------------------------------------------------
+
+class LintReport:
+    """The outcome of one scan; renders as text or JSON."""
+
+    def __init__(self, findings: List[Finding], n_files: int,
+                 suppressed: int) -> None:
+        self.findings = sorted(findings)
+        self.n_files = n_files
+        self.suppressed = suppressed
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def counts(self) -> Dict[str, int]:
+        by_rule: Dict[str, int] = {}
+        for f in self.findings:
+            by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+        return dict(sorted(by_rule.items()))
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.findings]
+        summary = (f"{len(self.findings)} finding"
+                   f"{'' if len(self.findings) == 1 else 's'} "
+                   f"({self.suppressed} suppressed) "
+                   f"in {self.n_files} files")
+        if self.findings:
+            lines.append("")
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "version": 1,
+            "files": self.n_files,
+            "suppressed": self.suppressed,
+            "rules": self.counts(),
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+
+# -- entry point -----------------------------------------------------------
+
+def lint_paths(
+    paths: Sequence[Any],
+    select: Optional[Iterable[str]] = None,
+    disable: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+) -> LintReport:
+    """Lint files/directories; the API behind ``repro lint``.
+
+    ``select`` limits the run to the given rule ids, ``disable`` drops
+    ids from the (possibly selected) set -- both validated against the
+    registry so typos fail loudly.  ``jobs`` caps the worker processes
+    (default: one per CPU, serial for small scans where pool start-up
+    would dominate).
+    """
+    from repro.analysis.registry import all_rules, get_rule
+
+    known = {rule.id for rule in all_rules()}
+    chosen = set(known)
+    if select is not None:
+        for rid in select:
+            get_rule(rid)  # raises KeyError on typos
+        chosen = set(select)
+    if disable is not None:
+        for rid in disable:
+            get_rule(rid)
+        chosen -= set(disable)
+    selected = frozenset(chosen)
+
+    files = iter_python_files(paths)
+    findings: List[Finding] = []
+    suppressed = 0
+    project = ProjectState()
+
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    jobs = max(1, min(jobs, len(files) or 1))
+    if jobs > 1 and len(files) >= 8:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = pool.map(
+                _scan_one,
+                [str(p) for p in files],
+                [selected] * len(files),
+                chunksize=max(1, len(files) // (jobs * 4)),
+            )
+            for file_findings, n_suppressed, contributions, pkg in results:
+                findings.extend(file_findings)
+                suppressed += n_suppressed
+                project.merge(contributions, pkg)
+    else:
+        for path in files:
+            file_findings, n_suppressed, contributions, pkg = _scan_one(
+                str(path), selected
+            )
+            findings.extend(file_findings)
+            suppressed += n_suppressed
+            project.merge(contributions, pkg)
+
+    for rule in all_rules():
+        if rule.id in selected:
+            findings.extend(rule.finalize(project))
+
+    return LintReport(findings, n_files=len(files), suppressed=suppressed)

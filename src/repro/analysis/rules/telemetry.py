@@ -1,0 +1,130 @@
+"""TEL001 -- the telemetry catalog and the instrumentation must agree.
+
+Forward direction (per file): every event name passed as a literal to a
+bus emit (``*.bus.emit("name", ...)`` / ``*.emit_event("name", ...)``)
+must exist in ``EVENT_CATALOG``, and every span name opened on a tracer
+(``*.tracer.span("name")`` / ``*.tracer.open("name")``) must exist in
+``SPAN_CATALOG``.  Reverse direction (whole scan): every catalog entry
+must be emitted by at least one literal site, so the catalog cannot
+accumulate dead events that the docs and ``repro telemetry catalog``
+keep advertising.
+
+The reverse check only activates when the scan clearly covered the
+whole package (the catalog module *and* the main instrumentation
+modules were scanned); linting a single file stays a purely local
+check.  Emit sites whose name is a variable are invisible to both
+directions -- the runtime test
+(tests/telemetry/test_instrumentation.py) covers those.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Tuple
+
+from repro.analysis.engine import FileContext, Finding, ProjectState
+from repro.analysis.registry import Rule, register
+
+_EVENTS_KEY = "tel:event_emits"
+_SPANS_KEY = "tel:span_uses"
+_CATALOG_KEY = "tel:catalog_entries"
+
+#: pkg paths whose presence marks a whole-package scan (reverse check).
+_FULL_SCAN_MARKERS = frozenset({
+    "telemetry/catalog.py", "grid.py", "core/aggregation.py",
+    "sessions/session.py",
+})
+
+
+def _literal_name(call: ast.Call) -> Optional[str]:
+    if call.args and isinstance(call.args[0], ast.Constant) \
+            and isinstance(call.args[0].value, str):
+        return call.args[0].value
+    for kw in call.keywords:
+        if kw.arg == "name" and isinstance(kw.value, ast.Constant) \
+                and isinstance(kw.value.value, str):
+            return kw.value.value
+    return None
+
+
+def _catalog_entries(ctx: FileContext) -> List[Tuple[str, str, int]]:
+    """``(kind, name, line)`` for the catalog module's dict literals."""
+    out: List[Tuple[str, str, int]] = []
+    kinds = {"EVENT_CATALOG": "event", "SPAN_CATALOG": "span"}
+    for node in ctx.walk(ast.Assign, ast.AnnAssign):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        names = [t.id for t in targets if isinstance(t, ast.Name)]
+        kind = next((kinds[n] for n in names if n in kinds), None)
+        if kind is None or not isinstance(node.value, ast.Dict):
+            continue
+        for key in node.value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                out.append((kind, key.value, key.lineno))
+    return out
+
+
+@register
+class CatalogTwoWay(Rule):
+    """TEL001 -- two-way event/span catalog consistency."""
+
+    id = "TEL001"
+    name = "catalog-two-way"
+    invariant = ("every emitted event/span name is catalogued, and every "
+                 "catalogued name is emitted somewhere (no dead events)")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return not ctx.is_tests and not ctx.is_benchmarks
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        from repro.telemetry.catalog import EVENT_CATALOG, SPAN_CATALOG
+
+        if ctx.pkg == "telemetry/catalog.py":
+            for entry in _catalog_entries(ctx):
+                ctx.contribute(_CATALOG_KEY, entry + (ctx.rel,))
+            return
+        for node in ctx.walk(ast.Call):
+            chain = ctx.call_chain(node)
+            if len(chain) < 2:
+                continue
+            head, method = chain[-2], chain[-1]
+            if method == "emit_event" or (
+                method == "emit" and head in ("bus", "_bus")
+            ):
+                name = _literal_name(node)
+                if name is not None:
+                    ctx.contribute(_EVENTS_KEY, name)
+                    if name not in EVENT_CATALOG:
+                        yield ctx.finding(
+                            self, node,
+                            f"event name {name!r} is not in "
+                            "telemetry/catalog.py EVENT_CATALOG; register "
+                            "it there (the catalog is the source of truth)",
+                        )
+            elif method in ("span", "open") and head == "tracer":
+                name = _literal_name(node)
+                if name is not None:
+                    ctx.contribute(_SPANS_KEY, name)
+                    if name not in SPAN_CATALOG:
+                        yield ctx.finding(
+                            self, node,
+                            f"span name {name!r} is not in "
+                            "telemetry/catalog.py SPAN_CATALOG; register "
+                            "it there (the catalog is the source of truth)",
+                        )
+
+    def finalize(self, project: ProjectState) -> Iterable[Finding]:
+        if not _FULL_SCAN_MARKERS <= project.scanned_pkgs:
+            return
+        emitted = set(project.contributions.get(_EVENTS_KEY, ()))
+        spans_used = set(project.contributions.get(_SPANS_KEY, ()))
+        for kind, name, line, rel in project.contributions.get(
+            _CATALOG_KEY, ()
+        ):
+            used = emitted if kind == "event" else spans_used
+            if name not in used:
+                yield Finding(
+                    path=rel, line=line, col=0, rule=self.id,
+                    message=(f"dead {kind}: catalog entry {name!r} is never "
+                             "emitted by any literal site; delete it or "
+                             "instrument the subsystem"),
+                )

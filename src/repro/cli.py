@@ -30,6 +30,12 @@ Commands
     schema-validated ``BENCH_<n>.json``, ``compare`` diffs two documents
     and exits non-zero on regressions, ``scenarios`` lists what's
     available.
+``lint``
+    The determinism & invariant linter (see
+    :mod:`repro.analysis`): AST rules DET001/DET002/DET003 (wall clock,
+    un-streamed RNG, unordered iteration), TEL001 (two-way event/span
+    catalog check) and CACHE001 (fast-path cache contract).  Exits
+    non-zero on findings; ``--format json`` for machine consumption.
 ``info``
     Package, configuration-default and scale information.
 
@@ -45,6 +51,8 @@ Examples::
     python -m repro trace flame prof.jsonl --out prof.folded
     python -m repro perf record --out BENCH_1.json
     python -m repro perf compare BENCH_0.json BENCH_1.json
+    python -m repro lint src tests
+    python -m repro lint --select DET001 --format json src
     REPRO_PAPER_SCALE=1 python -m repro figure7
 """
 
@@ -195,6 +203,21 @@ def build_parser() -> argparse.ArgumentParser:
     perf_cmp.add_argument("--warn-only", action="store_true",
                           help="report regressions but exit zero (CI smoke)")
     perf_sub.add_parser("scenarios", help="list the named scenarios")
+
+    lint = sub.add_parser("lint", help="determinism & invariant linter")
+    lint.add_argument("paths", nargs="*", default=["src", "tests"],
+                      help="files/directories to scan (default: src tests)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      dest="output_format",
+                      help="report format (default: text)")
+    lint.add_argument("--select", nargs="+", default=None, metavar="RULE",
+                      help="run only these rule ids")
+    lint.add_argument("--disable", nargs="+", default=None, metavar="RULE",
+                      help="skip these rule ids")
+    lint.add_argument("--jobs", type=int, default=None,
+                      help="worker processes (default: one per CPU)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the registered rules and exit")
 
     sub.add_parser("info", help="package and scale information")
     return parser
@@ -521,6 +544,33 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import all_rules, lint_paths
+
+    if args.list_rules:
+        rules = all_rules()
+        width = max(len(r.id) for r in rules)
+        for rule in rules:
+            print(f"{rule.id:<{width}}  {rule.name}")
+            print(f"{'':<{width}}  invariant: {rule.invariant}")
+        return 0
+    try:
+        report = lint_paths(
+            args.paths,
+            select=args.select,
+            disable=args.disable,
+            jobs=args.jobs,
+        )
+    except KeyError as exc:
+        print(str(exc.args[0]) if exc.args else str(exc), file=sys.stderr)
+        return 2
+    if args.output_format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return report.exit_code
+
+
 def _cmd_info(args) -> int:
     import repro
 
@@ -545,6 +595,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "profile": _cmd_profile,
     "perf": _cmd_perf,
+    "lint": _cmd_lint,
     "info": _cmd_info,
 }
 

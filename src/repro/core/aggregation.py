@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -287,6 +287,11 @@ class QSAAggregator(BaseAggregator):
     #: enforced between compositions so the edge loop stays a plain dict).
     EDGE_CACHE_CAP = 1 << 16
     COST_CACHE_CAP = 1 << 16
+    #: Composition-memo fast path (synced with ``GridConfig.fast_paths``
+    #: by the grid factory).  Off: every composition rebuilds edges and
+    #: costs from scratch -- the memo-free ground truth the exactness
+    #: contract (docs/performance.md) is checked against.
+    fast_paths = True
 
     def __init__(
         self,
@@ -320,7 +325,22 @@ class QSAAggregator(BaseAggregator):
         self._row_cache: Dict[Tuple[str, str], list] = {}
         self.edge_cache_stats = CacheStats()
 
-    def compose(self, path, candidates, user_qos, request) -> ComposedPath:
+    def compose(
+        self,
+        path: AbstractServicePath,
+        candidates: Dict[str, Tuple[ServiceInstance, ...]],
+        user_qos: QoSVector,
+        request: UserRequest,
+    ) -> ComposedPath:
+        if not self.fast_paths:
+            return compose_qcs(
+                path,
+                candidates,
+                user_qos,
+                self.composition_weights,
+                method=self.composition_method,
+                telemetry=self.telemetry,
+            )
         edge_cache = self._edge_cache
         before = len(edge_cache)
         composed = compose_qcs(

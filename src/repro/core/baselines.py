@@ -102,7 +102,13 @@ class RandomAggregator(BaseAggregator):
         # never influence the random choices.
         self.weights = weights
 
-    def compose(self, path, candidates, user_qos, request) -> ComposedPath:
+    def compose(
+        self,
+        path: AbstractServicePath,
+        candidates: Dict[str, Tuple[ServiceInstance, ...]],
+        user_qos: QoSVector,
+        request: UserRequest,
+    ) -> ComposedPath:
         graph = ConsistencyGraph(path, candidates, user_qos, self.weights)
         return random_consistent_path(graph, self.rng)
 
@@ -155,7 +161,7 @@ class FixedAggregator(BaseAggregator):
     def _first_viable_path(
         self,
         path: AbstractServicePath,
-        candidates,
+        candidates: Dict[str, Tuple[ServiceInstance, ...]],
         user_qos: QoSVector,
     ) -> ComposedPath:
         """Deterministic first viable path (ignores resource costs)."""
@@ -183,7 +189,10 @@ class FixedAggregator(BaseAggregator):
         )
 
     def _build_plan(
-        self, path: AbstractServicePath, candidates, fmt: str
+        self,
+        path: AbstractServicePath,
+        candidates: Dict[str, Tuple[ServiceInstance, ...]],
+        fmt: str,
     ) -> Optional[Tuple[ComposedPath, Tuple[int, ...]]]:
         from repro.core.qos import Interval
 
@@ -207,7 +216,13 @@ class FixedAggregator(BaseAggregator):
         return None
 
     # -- strategy hooks ----------------------------------------------------------
-    def compose(self, path, candidates, user_qos, request) -> ComposedPath:
+    def compose(
+        self,
+        path: AbstractServicePath,
+        candidates: Dict[str, Tuple[ServiceInstance, ...]],
+        user_qos: QoSVector,
+        request: UserRequest,
+    ) -> ComposedPath:
         fmt = user_qos["format"]
         key = (path.application, fmt)
         if key not in self._plans:

@@ -37,14 +37,19 @@ notation (``V`` candidate instances overall, ``K`` candidates for the
 source service).
 """
 
+# lint: disable-file=CACHE001 -- the edge/cost/row memos here are injected
+# by QSAAggregator.compose, which owns the fast_paths gate (and falls back
+# to memo-free composition when it is off); this module never constructs
+# or toggles a cache itself.
+
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.qos import QoSVector, satisfies
-from repro.core.resources import ResourceTuple, ResourceVector, WeightProfile
+from repro.core.resources import ResourceTuple, WeightProfile
 from repro.services.model import AbstractServicePath, ServiceInstance
 from repro.telemetry.spans import NULL_TRACER
 
@@ -332,7 +337,7 @@ def compose_qcs(
     edge_cache: Optional[Dict[Tuple[str, str], bool]] = None,
     cost_cache: Optional[Dict[str, Tuple[float, ResourceTuple]]] = None,
     row_cache: Optional[Dict[Tuple[str, str], list]] = None,
-    telemetry=None,
+    telemetry: Optional[Any] = None,
 ) -> ComposedPath:
     """Run QCS and return the QoS-consistent, resource-shortest path.
 

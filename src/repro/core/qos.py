@@ -104,7 +104,9 @@ class QoSVector(Mapping[str, QoSValue]):
 
     __slots__ = ("_params",)
 
-    def __init__(self, params: Mapping[str, QoSValue] | None = None, **kw: QoSValue):
+    def __init__(
+        self, params: Mapping[str, QoSValue] | None = None, **kw: QoSValue
+    ) -> None:
         merged: Dict[str, QoSValue] = dict(params or {})
         merged.update(kw)
         for name, value in merged.items():

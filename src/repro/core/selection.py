@@ -156,7 +156,7 @@ class PhiWeights:
             latency_ref_ms=latency_ref_ms,
         )
 
-    def _latency_term(self, latency_ms) -> Any:
+    def _latency_term(self, latency_ms: Any) -> Any:
         ratio = self.latency_ref_ms / np.maximum(latency_ms, 1e-3)
         return np.minimum(ratio, _RATIO_CAP)
 
@@ -270,7 +270,7 @@ class PeerSelector:
         weights: PhiWeights,
         uptime_filter: bool = True,
         feasibility_filter: bool = True,
-        telemetry=None,
+        telemetry: Optional[Any] = None,
     ) -> None:
         self.view = view
         self.weights = weights

@@ -64,7 +64,7 @@ def _check_sessions(grid: P2PGrid, problems: List[str]) -> None:
                 problems.append(
                     f"session {session.session_id}: active on dead peer {pid}"
                 )
-        for pid in session.participants | {session.user_peer}:
+        for pid in sorted(session.participants | {session.user_peer}):
             if session.session_id not in ledger.sessions_on_peer(pid):
                 problems.append(
                     f"session {session.session_id}: missing from peer "

@@ -18,7 +18,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, Sequence, Union
 
 import numpy as np
 

@@ -22,7 +22,7 @@ Expected shapes (see EXPERIMENTS.md for measured numbers):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import numpy as np
 

@@ -20,7 +20,7 @@ latency-aware Φ extension (`PhiWeights.latency_aware`).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional
 
 import numpy as np
 

@@ -19,8 +19,8 @@ the same workload.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from dataclasses import dataclass
+from typing import Iterator, List
 
 import numpy as np
 

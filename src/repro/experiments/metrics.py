@@ -29,11 +29,11 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.core.aggregation import AggregationResult, AggregationStatus
+from repro.core.aggregation import AggregationResult
 from repro.sessions.session import Session, SessionState
 
 __all__ = ["RequestRecord", "MetricsCollector"]

@@ -15,7 +15,6 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 __all__ = ["ascii_chart", "MARKERS"]
 

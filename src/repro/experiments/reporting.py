@@ -6,7 +6,7 @@ rows/series look the same everywhere (and diff cleanly between runs).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

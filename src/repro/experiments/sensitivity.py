@@ -20,11 +20,9 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable, Dict, List, Sequence, Tuple
 
-from repro.core.selection import PhiWeights
 from repro.experiments.config import ExperimentConfig, default_scale
 from repro.experiments.runner import run_experiment
 from repro.probing.prober import ProbingConfig
-from repro.services.catalog import CatalogConfig
 
 __all__ = ["KNOBS", "SensitivityRow", "sweep"]
 

@@ -17,7 +17,7 @@ events, the matching counters, and the per-kind tallies behind
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 from repro.faults.plan import FaultPlan
 from repro.sim.rng import derive_seed

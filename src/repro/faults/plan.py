@@ -52,8 +52,8 @@ Example plan (the JSON accepted by ``repro run --faults PLAN.json``)::
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, Iterable, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
 
 __all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan"]
 

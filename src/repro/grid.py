@@ -21,7 +21,7 @@ This is the main entry point of the library::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,10 +37,9 @@ from repro.lookup.chord import ChordRing
 from repro.lookup.registry import ServiceRegistry
 from repro.network.churn import ChurnConfig, ChurnProcess
 from repro.network.peer import Peer, PeerDirectory
-from repro.network.topology import BANDWIDTH_CLASSES, NetworkModel
+from repro.network.topology import NetworkModel
 from repro.probing.prober import ProbingConfig, ProbingService
 from repro.services.applications import (
-    QUALITY_LEVELS,
     ApplicationTemplate,
     default_applications,
 )
@@ -385,6 +384,7 @@ class P2PGrid:
         """
         rng = self.rngs.stream(f"aggregator-{name}")
         aggregator = self._build_aggregator(name, rng, options)
+        aggregator.fast_paths = self.config.fast_paths
         aggregator.tracer = self.tracer
         aggregator.bus = self.telemetry.bus
         _tel = self.telemetry if self.config.telemetry else None

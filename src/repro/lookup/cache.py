@@ -23,7 +23,7 @@ test in ``tests/perf/test_fast_paths.py`` proves it).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Optional, Tuple
+from typing import Any, Dict, Hashable, Optional
 
 __all__ = ["CacheStats", "BoundedCache", "trim_mapping"]
 

@@ -29,7 +29,7 @@ found", which the composition layer already treats as NO_CANDIDATES.
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Protocol, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, Protocol, Tuple
 
 from repro.lookup.cache import BoundedCache
 from repro.services.catalog import ServiceCatalog

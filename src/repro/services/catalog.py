@@ -25,8 +25,8 @@ and :meth:`ServiceCatalog.assign_new_peer`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
 
 import numpy as np
 

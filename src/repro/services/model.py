@@ -18,8 +18,8 @@ Terminology (paper §2.1 and §2.3):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
 
 from repro.core.qos import QoSVector
 from repro.core.resources import ResourceVector

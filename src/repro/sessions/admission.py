@@ -25,7 +25,7 @@ exponential backoff; budget exhaustion surfaces as a
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.resources import ResourceVector
 from repro.network.peer import PeerDirectory

@@ -13,18 +13,13 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.core.resources import ResourceVector
 from repro.network.peer import PeerDirectory
 from repro.network.topology import NetworkModel
 from repro.services.model import ServiceInstance
-from repro.sessions.admission import (
-    AdmissionError,
-    reserve_session,
-    rollback_session,
-)
+from repro.sessions.admission import reserve_session, rollback_session
 from repro.sim.engine import Simulator
 
 __all__ = ["Session", "SessionLedger", "SessionState"]
@@ -132,7 +127,7 @@ class SessionLedger:
         )
         self._next_id += 1
         self._active[session.session_id] = session
-        for pid in session.participants | {user_peer}:
+        for pid in sorted(session.participants | {user_peer}):
             self._by_peer.setdefault(pid, set()).add(session.session_id)
         self.n_admitted += 1
         self.sim.call_in(duration, self._complete, session.session_id)
@@ -168,7 +163,7 @@ class SessionLedger:
 
     def _detach(self, session: Session) -> None:
         self._active.pop(session.session_id, None)
-        for pid in session.participants | {session.user_peer}:
+        for pid in sorted(session.participants | {session.user_peer}):
             members = self._by_peer.get(pid)
             if members is not None:
                 members.discard(session.session_id)

@@ -30,7 +30,7 @@ kind                  fields
 from __future__ import annotations
 
 from collections import Counter, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
 
 __all__ = ["TraceEvent", "Tracer"]
@@ -81,7 +81,7 @@ class Tracer:
         self.n_emitted = 0
 
     @classmethod
-    def for_simulator(cls, sim, capacity: Optional[int] = None) -> "Tracer":
+    def for_simulator(cls, sim: Any, capacity: Optional[int] = None) -> "Tracer":
         return cls(lambda: sim.now, capacity)
 
     # -- emission ---------------------------------------------------------

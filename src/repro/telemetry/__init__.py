@@ -30,7 +30,12 @@ from repro.telemetry.analysis import (
     phase_report,
 )
 from repro.telemetry.bus import BusEvent, EventBus
-from repro.telemetry.catalog import EVENT_CATALOG, METRIC_CATALOG, format_catalog
+from repro.telemetry.catalog import (
+    EVENT_CATALOG,
+    METRIC_CATALOG,
+    SPAN_CATALOG,
+    format_catalog,
+)
 from repro.telemetry.facade import Telemetry
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.telemetry.profiling import ProfileReport, Profiler, profile_run
@@ -50,6 +55,7 @@ __all__ = [
     "render_span_tree",
     "EVENT_CATALOG",
     "METRIC_CATALOG",
+    "SPAN_CATALOG",
     "format_catalog",
     "SpanNode",
     "SpanRecord",

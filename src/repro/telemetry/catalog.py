@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-__all__ = ["EVENT_CATALOG", "METRIC_CATALOG", "format_catalog"]
+__all__ = ["EVENT_CATALOG", "METRIC_CATALOG", "SPAN_CATALOG", "format_catalog"]
 
 #: event name -> (fields, description)
 EVENT_CATALOG: Dict[str, tuple] = {
@@ -120,6 +120,26 @@ METRIC_CATALOG: Dict[str, tuple] = {
 }
 
 
+#: span name -> description.  Span events all share the ``span`` entry of
+#: EVENT_CATALOG; this indexes the *names* those events may carry, so the
+#: linter (TEL001) can hold tracer call sites and catalog two-way
+#: consistent just like plain events.
+SPAN_CATALOG: Dict[str, str] = {
+    "request": "one user request's whole setup pipeline",
+    "qcs.compose": "QoS-consistent composition for one request",
+    "qcs.graph_build": "consistency-graph construction inside qcs.compose",
+    "qcs.dp": "dynamic-programming sweep inside qcs.compose",
+    "qcs.dijkstra": "Dijkstra sweep inside qcs.compose (method=dijkstra)",
+    "lookup.candidates": "DHT candidate discovery for one request",
+    "lookup.hosts": "DHT host-record fetches for the composed path",
+    "selection": "the Φ/uptime peer-selection walk over all hops",
+    "selection.hop": "one hop of the peer-selection walk",
+    "admission": "atomic resource/connection admission",
+    "probing.resolve": "neighbor resolution triggered by a request",
+    "session": "an admitted session's admit -> resolution lifetime",
+}
+
+
 def format_catalog() -> str:
     """Both catalogs as one aligned text table (the CLI's output)."""
     lines = ["events"]
@@ -127,6 +147,11 @@ def format_catalog() -> str:
     for name, (fields, desc) in EVENT_CATALOG.items():
         lines.append(f"  {name:<{width}}  {desc}")
         lines.append(f"  {'':<{width}}    fields: {fields}")
+    lines.append("")
+    lines.append("spans (names carried by `span` events)")
+    width = max(len(n) for n in SPAN_CATALOG)
+    for name, desc in SPAN_CATALOG.items():
+        lines.append(f"  {name:<{width}}  {desc}")
     lines.append("")
     lines.append("metrics")
     width = max(len(n) for n in METRIC_CATALOG)

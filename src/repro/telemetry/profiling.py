@@ -26,7 +26,7 @@ from __future__ import annotations
 import io
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.telemetry.analysis import (
     SpanRecord,

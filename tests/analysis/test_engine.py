@@ -1,0 +1,170 @@
+"""Engine behaviour: pragmas, JSON output, exit codes, file discovery."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import jsonschema
+
+from repro.analysis import lint_paths
+from repro.analysis.engine import PARSE_RULE_ID
+
+from tests.analysis.test_rules import lint_snippet
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class TestPragmas:
+    def test_line_pragma_suppresses(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "import time\n"
+            "t = time.time()  # lint: disable=DET001 -- fixture\n",
+        )
+        assert report.ok
+        # The import line still counts: only the flagged call is annotated.
+        assert report.suppressed == 1
+
+    def test_line_pragma_is_rule_specific(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "import time\n"
+            "t = time.time()  # lint: disable=DET002 -- wrong rule\n",
+        )
+        assert [f.rule for f in report.findings] == ["DET001"]
+        assert report.suppressed == 0
+
+    def test_disable_all_pragma(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "import time\nt = time.time()  # lint: disable=all\n",
+        )
+        assert report.ok
+        assert report.suppressed == 1
+
+    def test_file_pragma_suppresses_whole_file(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "# lint: disable-file=DET001 -- fixture\n"
+            "import time\n"
+            "a = time.time()\n"
+            "b = time.time()\n",
+        )
+        assert report.ok
+        assert report.suppressed == 2
+
+    def test_multi_rule_pragma(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "import time, random  # lint: disable=DET001,DET002 -- fixture\n"
+            "t = time.time()  # lint: disable=DET001\n",
+        )
+        assert report.ok
+        assert report.suppressed == 2
+
+
+class TestParseErrors:
+    def test_syntax_error_is_a_finding(self, tmp_path):
+        report = lint_snippet(tmp_path, "def broken(:\n")
+        assert [f.rule for f in report.findings] == [PARSE_RULE_ID]
+        assert report.exit_code == 1
+
+
+class TestReport:
+    def test_findings_sorted_and_rendered(self, tmp_path):
+        (tmp_path / "b.py").write_text("import random\n")
+        (tmp_path / "a.py").write_text("import time\nt = time.time()\n")
+        report = lint_paths([tmp_path], jobs=1)
+        paths = [f.path for f in report.findings]
+        assert paths == sorted(paths)
+        first = report.findings[0]
+        assert report.render_text().splitlines()[0] == (
+            f"{first.path}:{first.line}:{first.col}: "
+            f"{first.rule} {first.message}"
+        )
+        assert report.render_text().splitlines()[-1].endswith("in 2 files")
+
+    def test_json_output_matches_schema(self, tmp_path):
+        report = lint_snippet(tmp_path, "import time\nt = time.time()\n")
+        payload = json.loads(report.render_json())
+        schema = {
+            "type": "object",
+            "required": ["version", "files", "suppressed", "rules",
+                         "findings"],
+            "properties": {
+                "version": {"const": 1},
+                "files": {"type": "integer", "minimum": 0},
+                "suppressed": {"type": "integer", "minimum": 0},
+                "rules": {
+                    "type": "object",
+                    "additionalProperties": {"type": "integer"},
+                },
+                "findings": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "required": ["path", "line", "col", "rule",
+                                     "message"],
+                        "properties": {
+                            "path": {"type": "string"},
+                            "line": {"type": "integer", "minimum": 1},
+                            "col": {"type": "integer", "minimum": 0},
+                            "rule": {"type": "string"},
+                            "message": {"type": "string"},
+                        },
+                        "additionalProperties": False,
+                    },
+                },
+            },
+            "additionalProperties": False,
+        }
+        jsonschema.validate(payload, schema)
+        assert payload["rules"] == {"DET001": 1}
+
+    def test_skips_pycache_and_dedups(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text("x = 1\n")
+        junk = pkg / "__pycache__"
+        junk.mkdir()
+        (junk / "mod.cpython-311.py").write_text("import time\ntime.time()\n")
+        report = lint_paths([pkg, pkg / "mod.py"], jobs=1)
+        assert report.ok
+        assert report.n_files == 1
+
+
+class TestCli:
+    def run_cli(self, *argv, cwd=None):
+        env = {"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"}
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "lint", *argv],
+            capture_output=True, text=True, cwd=cwd or REPO, env=env,
+        )
+
+    def test_exit_zero_on_clean_tree(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        proc = self.run_cli(str(tmp_path))
+        assert proc.returncode == 0, proc.stderr
+        assert "0 findings" in proc.stdout
+
+    def test_exit_one_on_findings_and_json(self, tmp_path):
+        (tmp_path / "bad.py").write_text("import time\nt = time.time()\n")
+        proc = self.run_cli(str(tmp_path), "--format", "json")
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["rules"] == {"DET001": 1}
+
+    def test_exit_two_on_unknown_rule(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        proc = self.run_cli(str(tmp_path), "--select", "BOGUS1")
+        assert proc.returncode == 2
+        assert "BOGUS1" in proc.stderr
+
+    def test_list_rules(self):
+        proc = self.run_cli("--list-rules")
+        assert proc.returncode == 0
+        for rule_id in ("DET001", "DET002", "DET003", "TEL001", "CACHE001"):
+            assert rule_id in proc.stdout

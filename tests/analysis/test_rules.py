@@ -1,0 +1,234 @@
+"""Fixture snippets: each built-in rule fires exactly once, and the
+matching clean twin stays silent.
+
+CACHE001 is package-scoped (``lookup/``, ``probing/``, ``core/``), so
+its fixtures are written under a ``repro/core/`` directory inside the
+tmp tree -- the engine resolves scope from the path, not the import
+system.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths
+
+
+def lint_snippet(tmp_path: Path, source: str, relpath: str = "snippet.py",
+                 **kwargs):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return lint_paths([path], jobs=1, **kwargs)
+
+
+class TestDET001:
+    def test_wall_clock_fires_once(self, tmp_path):
+        report = lint_snippet(tmp_path, "import time\nt = time.time()\n")
+        assert [f.rule for f in report.findings] == ["DET001"]
+
+    def test_from_import_alias(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "from time import perf_counter as pc\nt = pc()\n",
+        )
+        assert [f.rule for f in report.findings] == ["DET001"]
+
+    def test_datetime_now(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "from datetime import datetime\nd = datetime.now()\n",
+        )
+        assert [f.rule for f in report.findings] == ["DET001"]
+
+    def test_sim_clock_is_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, "def f(sim):\n    return sim.now\n")
+        assert report.ok
+
+
+class TestDET002:
+    def test_unstreamed_numpy_rng_fires_once(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "import numpy as np\nrng = np.random.default_rng(0)\n",
+        )
+        assert [f.rule for f in report.findings] == ["DET002"]
+
+    def test_stdlib_random_import(self, tmp_path):
+        report = lint_snippet(tmp_path, "import random\n")
+        assert [f.rule for f in report.findings] == ["DET002"]
+
+    def test_streamed_rng_is_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "def f(rngs):\n    return rngs.stream('churn').random()\n",
+        )
+        assert report.ok
+
+
+class TestDET003:
+    def test_set_iteration_fires_once(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "def f(xs):\n    for x in set(xs):\n        yield x\n",
+        )
+        assert [f.rule for f in report.findings] == ["DET003"]
+
+    def test_keys_view_iteration(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "def f(d):\n    return [k for k in d.keys()]\n",
+        )
+        assert [f.rule for f in report.findings] == ["DET003"]
+
+    def test_sorted_set_is_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "def f(xs):\n    for x in sorted(set(xs)):\n        yield x\n",
+        )
+        assert report.ok
+
+
+class TestTEL001:
+    def test_uncatalogued_event_fires_once(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "def f(bus):\n    bus.emit('no.such.event', x=1)\n",
+        )
+        assert [f.rule for f in report.findings] == ["TEL001"]
+
+    def test_uncatalogued_span(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "def f(tracer):\n    with tracer.span('no.such.span'):\n"
+            "        pass\n",
+        )
+        assert [f.rule for f in report.findings] == ["TEL001"]
+
+    def test_catalogued_event_is_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "def f(bus):\n    bus.emit('lookup.done', hops=2)\n",
+        )
+        assert report.ok
+
+    def test_dead_catalog_entry_via_finalize(self):
+        from repro.analysis.engine import ProjectState
+        from repro.analysis.registry import get_rule
+        from repro.analysis.rules.telemetry import (
+            _CATALOG_KEY,
+            _FULL_SCAN_MARKERS,
+        )
+
+        project = ProjectState()
+        project.scanned_pkgs = set(_FULL_SCAN_MARKERS)
+        project.contributions[_CATALOG_KEY] = [
+            ("event", "ghost.event", 42, "src/repro/telemetry/catalog.py"),
+        ]
+        findings = list(get_rule("TEL001").finalize(project))
+        assert len(findings) == 1
+        assert findings[0].rule == "TEL001"
+        assert "ghost.event" in findings[0].message
+        assert findings[0].line == 42
+
+    def test_partial_scan_skips_reverse_check(self):
+        from repro.analysis.engine import ProjectState
+        from repro.analysis.registry import get_rule
+        from repro.analysis.rules.telemetry import _CATALOG_KEY
+
+        project = ProjectState()
+        project.scanned_pkgs = {"telemetry/catalog.py"}  # markers missing
+        project.contributions[_CATALOG_KEY] = [
+            ("event", "ghost.event", 1, "catalog.py"),
+        ]
+        assert list(get_rule("TEL001").finalize(project)) == []
+
+
+class TestCACHE001:
+    def test_ungated_cache_fires_once(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "from repro.lookup.cache import BoundedCache\n"
+            "CACHE = BoundedCache(64)\n",
+            relpath="repro/core/bad_cache.py",
+        )
+        assert [f.rule for f in report.findings] == ["CACHE001"]
+
+    def test_emit_in_guarded_branch_fires_once(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "class C:\n"
+            "    def f(self):\n"
+            "        if self.fast_paths:\n"
+            "            self.bus.emit('lookup.done', hops=0)\n",
+            relpath="repro/lookup/bad_hit.py",
+        )
+        assert [f.rule for f in report.findings] == ["CACHE001"]
+
+    def test_gated_counter_only_is_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "from repro.lookup.cache import BoundedCache\n"
+            "class C:\n"
+            "    fast_paths = True\n"
+            "    def __init__(self):\n"
+            "        self._route_cache = BoundedCache(64)\n"
+            "    def f(self, tel):\n"
+            "        if self.fast_paths:\n"
+            "            self._route_cache.get('k')\n"
+            "            tel.metrics.counter('cache.route.hits').inc()\n",
+            relpath="repro/lookup/good_cache.py",
+        )
+        assert report.ok
+
+    def test_out_of_scope_module_is_ignored(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "from repro.lookup.cache import BoundedCache\n"
+            "CACHE = BoundedCache(64)\n",
+            relpath="repro/workload/not_discovery_plane.py",
+        )
+        assert report.ok
+
+
+class TestSelectDisable:
+    def test_select_limits_rules(self, tmp_path):
+        source = "import time\nimport random\nt = time.time()\n"
+        all_report = lint_snippet(tmp_path, source)
+        assert {f.rule for f in all_report.findings} == {"DET001", "DET002"}
+        only_det2 = lint_snippet(tmp_path, source, select=["DET002"])
+        assert [f.rule for f in only_det2.findings] == ["DET002"]
+        disabled = lint_snippet(tmp_path, source, disable=["DET001"])
+        assert [f.rule for f in disabled.findings] == ["DET002"]
+
+    def test_unknown_rule_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            lint_snippet(tmp_path, "x = 1\n", select=["NOPE999"])
+
+
+class TestPluginRegistry:
+    def test_thirty_line_rule_registers_and_fires(self, tmp_path):
+        import ast
+
+        from repro.analysis.registry import Rule, _RULES, register
+
+        @register
+        class NoEval(Rule):
+            id = "TMP999"
+            name = "no-eval"
+            invariant = "fixture rule for the plugin test"
+
+            def check(self, ctx):
+                for node in ctx.walk(ast.Call):
+                    if ctx.call_chain(node) == ("eval",):
+                        yield ctx.finding(self, node, "eval() used")
+
+        try:
+            report = lint_snippet(
+                tmp_path, "x = eval('1 + 1')\n", select=["TMP999"]
+            )
+            assert [f.rule for f in report.findings] == ["TMP999"]
+        finally:
+            _RULES.pop("TMP999")

@@ -3,17 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.core.aggregation import (
-    AggregationStatus,
-    BaseAggregator,
-    QSAAggregator,
-)
-from repro.core.composition import ComposedPath, CompositionError
-from repro.core.qos import Interval, QoSVector
-from repro.core.resources import ResourceTuple, ResourceVector, WeightProfile
-from repro.core.selection import PhiWeights
+from repro.core.aggregation import AggregationStatus, BaseAggregator
+from repro.core.composition import CompositionError
 from repro.grid import GridConfig, P2PGrid
-from repro.services.model import ServiceInstance
 from repro.services.qoscompiler import UserRequest
 
 NAMES = ("cpu", "memory")

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.composition import (
-    ComposedPath,
     CompositionError,
     ConsistencyGraph,
     compose_qcs,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.aggregation import AggregationStatus
 from repro.core.explain import explain_result
 from repro.grid import GridConfig, P2PGrid
 

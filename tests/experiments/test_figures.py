@@ -5,9 +5,7 @@ suite stays fast; the benches run the calibrated scales and record the
 numbers in EXPERIMENTS.md.
 """
 
-from dataclasses import replace
 
-import numpy as np
 import pytest
 
 from repro.experiments import figures

@@ -1,7 +1,6 @@
 """Unit tests for figure result containers and remaining edge paths."""
 
 import numpy as np
-import pytest
 
 from repro.experiments.figures import SeriesResult, SweepResult
 

@@ -1,6 +1,5 @@
 """Integration tests for the experiment runner (small scale)."""
 
-from dataclasses import replace
 
 import pytest
 

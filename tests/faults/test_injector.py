@@ -1,7 +1,6 @@
 """FaultInjector: seeded decisions, ghosts, partitions and bookkeeping."""
 
 import numpy as np
-import pytest
 
 from repro.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.sim import Simulator

@@ -1,6 +1,5 @@
 """Unit tests for peers and the peer directory."""
 
-import numpy as np
 import pytest
 
 from repro.core.resources import ResourceVector

@@ -13,7 +13,6 @@ order, so byte-equality of the exports implies identical per-request
 AggregationResult streams and identical event interleaving.
 """
 
-import dataclasses
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Unit tests for the probing service (staleness, budget, overhead)."""
 
-import numpy as np
 import pytest
 
 from repro.core.resources import ResourceVector

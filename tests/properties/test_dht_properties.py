@@ -7,7 +7,6 @@ the membership churn in between.  This is the property the registry
 relies on for discovery correctness under topological variation.
 """
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.lookup.can import CanNetwork

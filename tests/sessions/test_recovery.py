@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.grid import GridConfig, P2PGrid
-from repro.network.churn import ChurnConfig, ChurnProcess
+from repro.network.churn import ChurnConfig
 from repro.sessions.recovery import RecoveryConfig
 from repro.sessions.session import SessionState
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim import Simulator
-from repro.sim.trace import TraceEvent, Tracer
+from repro.sim.trace import Tracer
 
 
 def make():

@@ -1,13 +1,11 @@
 """Trace analytics: forest reconstruction, critical paths, flame export."""
 
 import io
-import json
 import re
 
 import pytest
 
 from repro.telemetry.analysis import (
-    SpanNode,
     SpanRecord,
     TraceAnalysisError,
     aggregate_spans,

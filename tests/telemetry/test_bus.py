@@ -5,7 +5,7 @@ import json
 
 import pytest
 
-from repro.telemetry.bus import BusEvent, EventBus
+from repro.telemetry.bus import EventBus
 
 
 class FakeClock:

@@ -5,7 +5,6 @@ Paired-comparison methodology (Fig. 5-8 run the three algorithms on the
 a seed pins every draw, and simultaneous events fire FIFO.
 """
 
-from collections import Counter
 
 import pytest
 

@@ -1,8 +1,6 @@
 """Tests for the grid invariant checker -- and, through it, end-to-end
 consistency of heavy churny workloads on both DHT substrates."""
 
-import numpy as np
-import pytest
 
 from repro.diagnostics import check_grid_invariants
 from repro.grid import GridConfig, P2PGrid

@@ -5,7 +5,6 @@ import pytest
 
 from repro.grid import GridConfig, P2PGrid
 from repro.network.churn import ChurnConfig
-from repro.probing.prober import ProbingConfig
 
 
 @pytest.fixture(scope="module")

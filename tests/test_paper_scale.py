@@ -35,7 +35,7 @@ class TestPaperScale:
 
     def test_requests_work_and_are_fast(self, paper_grid):
         agg = paper_grid.make_aggregator("qsa")
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # lint: disable=DET001 -- throughput budget check
         admitted = 0
         n = 30
         for _ in range(n):
@@ -44,7 +44,7 @@ class TestPaperScale:
             )
             admitted += r.admitted
             paper_grid.sim.run()
-        per_request = (time.perf_counter() - t0) / n
+        per_request = (time.perf_counter() - t0) / n  # lint: disable=DET001 -- throughput budget check
         assert admitted >= n * 0.8
         # Generous bound: an order of magnitude above the measured ~5 ms
         # so slow CI machines do not flake.
