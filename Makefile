@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: install test test-log bench bench-log bench-paper figures \
         figures-quick examples coverage clean profile perf-record \
-        perf-check lint
+        perf-check lint serve loadgen
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -50,6 +50,15 @@ perf-check:
 		--out $$tmp >/dev/null && \
 	$(PYTHON) -m repro perf compare $$latest $$tmp; \
 	status=$$?; rm -f $$tmp; exit $$status
+
+# Serving plane (docs/serving.md): a resident grid behind HTTP, and the
+# closed-loop load generator that drives it.  Override knobs like
+# `make serve SERVE_ARGS="--scenario churn --port 9000"`.
+serve:
+	PYTHONPATH=src $(PYTHON) -m repro serve $(SERVE_ARGS)
+
+loadgen:
+	PYTHONPATH=src $(PYTHON) -m repro loadgen $(LOADGEN_ARGS)
 
 figures:
 	$(PYTHON) examples/paper_figures.py

@@ -30,6 +30,11 @@ def run_scenario(name: str, seed: int = 0, algorithm: str = "qsa"):
     from repro.telemetry.profiling import profile_run
 
     scenario = SCENARIOS[name]
+    if scenario.make is None:
+        raise ValueError(
+            f"scenario {name!r} records through its own harness "
+            "(scenario.recorder); profile_run only takes make-style scenarios"
+        )
     return profile_run(scenario.make(seed).with_algorithm(algorithm))
 
 

@@ -36,8 +36,16 @@ Commands
     un-streamed RNG, unordered iteration), TEL001 (two-way event/span
     catalog check) and CACHE001 (fast-path cache contract).  Exits
     non-zero on findings; ``--format json`` for machine consumption.
+``serve``
+    Run the grid as a long-lived QoS-composition service over HTTP
+    (see :mod:`repro.serve` and docs/serving.md): ``POST /compose``,
+    session inspection/teardown, ``/status``, ``/metrics``.
+``loadgen``
+    Drive a running server with the §4.1 workload over HTTP
+    (open/closed loop) and report throughput + RTT percentiles.
 ``info``
-    Package, configuration-default and scale information.
+    Package, capability and scale information (the same build
+    descriptor ``GET /status`` serves).
 
 Examples::
 
@@ -53,6 +61,8 @@ Examples::
     python -m repro perf compare BENCH_0.json BENCH_1.json
     python -m repro lint src tests
     python -m repro lint --select DET001 --format json src
+    python -m repro serve --scenario baseline --port 8177 --telemetry serve.jsonl
+    python -m repro loadgen --port 8177 -n 500 --concurrency 8
     REPRO_PAPER_SCALE=1 python -m repro figure7
 """
 
@@ -219,7 +229,18 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="print the registered rules and exit")
 
-    sub.add_parser("info", help="package and scale information")
+    from repro.serve.cli import add_loadgen_arguments, add_serve_arguments
+
+    serve = sub.add_parser(
+        "serve", help="run the grid as a long-lived composition service"
+    )
+    add_serve_arguments(serve)
+    loadgen = sub.add_parser(
+        "loadgen", help="drive a running server with the §4.1 workload"
+    )
+    add_loadgen_arguments(loadgen)
+
+    sub.add_parser("info", help="package, capability and scale information")
     return parser
 
 
@@ -572,9 +593,19 @@ def _cmd_lint(args) -> int:
 
 
 def _cmd_info(args) -> int:
-    import repro
+    # One source of truth with the serving plane: `repro info` prints the
+    # same build/capability descriptor `GET /status` embeds.
+    from repro.capabilities import build_descriptor
 
-    print(f"repro {repro.__version__}")
+    desc = build_descriptor()
+    print(f"{desc['name']} {desc['version']}  (api {desc['serve_api']})")
+    print(f"paper: {desc['paper']}")
+    print(f"algorithms:       {', '.join(desc['algorithms'])}")
+    print(f"lookup protocols: {', '.join(desc['lookup_protocols'])}")
+    print(f"fast paths:       "
+          f"{'on' if desc['fast_paths_default'] else 'off'} by default")
+    print(f"fault kinds:      {', '.join(desc['fault_kinds'])}")
+    print(f"scenarios:        {', '.join(desc['scenarios'])}")
     print(f"paper scale active: {is_paper_scale()} "
           f"(population factor {scale_factor():g})")
     cfg = default_scale(100, 60)
@@ -598,6 +629,22 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "info": _cmd_info,
 }
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve.cli import cmd_serve
+
+    return cmd_serve(args)
+
+
+def _cmd_loadgen(args) -> int:
+    from repro.serve.cli import cmd_loadgen
+
+    return cmd_loadgen(args)
+
+
+_COMMANDS["serve"] = _cmd_serve
+_COMMANDS["loadgen"] = _cmd_loadgen
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -65,11 +65,27 @@ _BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
 
 @dataclass(frozen=True)
 class Scenario:
-    """A named, seed-parameterized workload for the harness."""
+    """A named, seed-parameterized workload for the harness.
+
+    Exactly one of the two fields drives a recording:
+
+    * ``make`` -- an :class:`ExperimentConfig` factory; the harness runs
+      it in-process under the wall-clock profiler (the classic path).
+    * ``recorder`` -- a ``(seed, algorithm) -> scenario dict`` callable
+      that measures by its own means (the ``serving`` scenario boots a
+      real HTTP server) and returns a schema-conformant scenario object.
+    """
 
     name: str
     description: str
-    make: Callable[[int], ExperimentConfig]
+    make: Optional[Callable[[int], ExperimentConfig]] = None
+    recorder: Optional[Callable[[int, str], Dict]] = None
+
+    def __post_init__(self) -> None:
+        if (self.make is None) == (self.recorder is None):
+            raise ValueError(
+                f"scenario {self.name!r} needs exactly one of make/recorder"
+            )
 
 
 def _smoke(seed: int) -> ExperimentConfig:
@@ -107,10 +123,24 @@ SCENARIOS: Dict[str, Scenario] = {
         "4x request rate, the contention regime of Fig. 5's right edge",
         lambda seed: default_scale(400.0, 20.0, 0.0, seed),
     ),
+    "serving": Scenario(
+        "serving",
+        "closed-loop HTTP serving: compose/release over real TCP "
+        "against a resident grid",
+        recorder=lambda seed, algorithm: _record_serving(seed, algorithm),
+    ),
 }
 
 #: Scenarios a bare ``repro perf record`` runs (smoke stays CI-only).
-DEFAULT_SCENARIOS: Tuple[str, ...] = ("baseline", "churn", "heavy")
+DEFAULT_SCENARIOS: Tuple[str, ...] = ("baseline", "churn", "heavy", "serving")
+
+
+def _record_serving(seed: int, algorithm: str) -> Dict:
+    # Imported lazily: repro.serve resolves scenario names through this
+    # module, so a top-level import would be circular.
+    from repro.perf.serving import record_serving
+
+    return record_serving(seed, algorithm)
 
 
 # -- recording --------------------------------------------------------------
@@ -137,6 +167,10 @@ def record_bench(
         if progress is not None:
             progress(f"recording scenario '{name}' "
                      f"({scenario.description}) ...")
+        if scenario.recorder is not None:
+            scenarios[name] = scenario.recorder(seed, algorithm)
+            continue
+        assert scenario.make is not None  # __post_init__ invariant
         config = scenario.make(seed).with_algorithm(algorithm)
         result, report = profile_run(config)
         p = report.latency_percentiles()

@@ -1,0 +1,102 @@
+"""The ``serving`` perf scenario: sustained HTTP req/s against a live server.
+
+Unlike the in-process scenarios (which measure the aggregation pipeline
+directly), this one boots the full serving plane -- resident grid,
+asyncio HTTP server on an ephemeral port, background thread -- and
+drives it closed-loop over real TCP with :mod:`repro.serve.loadgen`.
+What lands in the bench document is therefore end-to-end: socket, HTTP
+parse, single-writer dispatch, sim tick, aggregation, JSON encode.
+
+The recorded fields keep the ``repro-bench/1`` scenario schema so
+``repro perf compare`` diffs serving runs like any other scenario:
+``setup_latency_us`` holds the client-observed compose RTT percentiles,
+``throughput.requests_per_sec`` the sustained closed-loop rate, ``psi``
+the admitted/sent ratio, and ``horizon`` the simulated minutes the
+resident grid advanced while serving.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.grid import GridConfig
+from repro.probing.prober import ProbingConfig
+
+__all__ = ["SERVING_DESCRIPTION", "record_serving"]
+
+SERVING_DESCRIPTION = (
+    "closed-loop HTTP serving against a resident 250-peer grid "
+    "(compose/release round trips over real TCP)"
+)
+
+#: Compose requests per recording; small enough for CI, large enough for
+#: stable percentiles.
+N_REQUESTS = 400
+CONCURRENCY = 4
+RELEASE_RATIO = 0.25
+
+
+def record_serving(seed: int, algorithm: str) -> Dict:
+    """Run one serving recording; returns a bench scenario object."""
+    from repro.serve.core import ServeConfig, start_server_thread
+    from repro.serve.loadgen import LoadgenConfig, run_loadgen
+
+    grid_config = GridConfig(
+        n_peers=250, probing=ProbingConfig(budget=10), seed=seed
+    )
+    handle = start_server_thread(ServeConfig(
+        port=0,
+        seed=seed,
+        algorithm=algorithm,
+        grid=grid_config,
+    ))
+    try:
+        report = run_loadgen(LoadgenConfig(
+            host=handle.host,
+            port=handle.port,
+            n_requests=N_REQUESTS,
+            concurrency=CONCURRENCY,
+            mode="closed",
+            seed=seed,
+            release_ratio=RELEASE_RATIO,
+        ))
+        runtime = handle.runtime
+        grid = runtime.grid
+        wall = max(report.wall_seconds, 1e-9)
+        sim_minutes = grid.sim.now - runtime.started_sim_time
+        scenario = {
+            "description": SERVING_DESCRIPTION,
+            "n_peers": grid_config.n_peers,
+            "rate_per_min": report.requests_per_sec * 60.0,
+            "horizon": sim_minutes,
+            "churn_per_min": 0.0,
+            "n_requests": report.sent,
+            "psi": report.psi,
+            "wall_seconds": report.wall_seconds,
+            "throughput": {
+                "requests_per_sec": report.requests_per_sec,
+                "lookups_per_sec": grid.ring.n_lookups / wall,
+                "probes_per_sec": grid.probing.probe_messages / wall,
+            },
+            # Client-observed compose RTT over real TCP (not the
+            # in-process setup span the other scenarios record).
+            "setup_latency_us": report.latency_summary_us(),
+            "mean_lookup_hops": (
+                runtime.total_lookup_hops / runtime.n_compose
+                if runtime.n_compose else 0.0
+            ),
+            "probe_overhead": grid.probing.overhead_ratio(),
+            # Additive serving-plane detail (schema checks required
+            # fields only, so older documents stay valid).
+            "serving": {
+                "mode": "closed",
+                "concurrency": CONCURRENCY,
+                "release_ratio": RELEASE_RATIO,
+                "released": report.released,
+                "errors": report.errors,
+                "http_requests": runtime.n_http_requests,
+            },
+        }
+    finally:
+        handle.stop()
+    return scenario

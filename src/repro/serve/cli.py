@@ -1,0 +1,157 @@
+"""CLI entry points for the serving plane: ``repro serve`` / ``repro loadgen``.
+
+Kept out of :mod:`repro.cli` so the top-level module stays a thin
+dispatcher; the main parser calls :func:`add_serve_arguments` /
+:func:`add_loadgen_arguments` to register the flags and dispatches to
+:func:`cmd_serve` / :func:`cmd_loadgen`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+
+from repro.serve.core import GridRuntime, ServeConfig, ServeServer
+
+__all__ = [
+    "add_loadgen_arguments",
+    "add_serve_arguments",
+    "cmd_loadgen",
+    "cmd_serve",
+]
+
+
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scenario", default="baseline",
+                        help="perf-harness scenario shaping the resident "
+                             "grid (default: baseline)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8177,
+                        help="TCP port (0 = ephemeral; default 8177)")
+    parser.add_argument("--algorithm", choices=("qsa", "random", "fixed"),
+                        default="qsa")
+    parser.add_argument("--wall-clock", action="store_true",
+                        help="couple sim time to the wall clock instead of "
+                             "the deterministic per-request sim tick")
+    parser.add_argument("--tick", type=float, default=0.05, metavar="MIN",
+                        help="sim minutes advanced per request in sim-time "
+                             "mode (default 0.05)")
+    parser.add_argument("--telemetry", metavar="PATH", default=None,
+                        help="record full telemetry; exported as JSONL at "
+                             "shutdown")
+    parser.add_argument("--faults", metavar="PLAN.json", default=None,
+                        help="inject faults from a JSON fault plan")
+
+
+def add_loadgen_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8177)
+    parser.add_argument("-n", "--requests", type=int, default=200,
+                        dest="n_requests",
+                        help="compose requests to send (default 200)")
+    parser.add_argument("--concurrency", type=int, default=4,
+                        help="workers / max in-flight (default 4)")
+    parser.add_argument("--mode", choices=("closed", "open"),
+                        default="closed",
+                        help="closed loop (sustained capacity) or open "
+                             "loop (fixed offered load)")
+    parser.add_argument("--rate", type=float, default=50.0,
+                        help="open-loop offered load, req/s (default 50)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--release-ratio", type=float, default=0.25,
+                        help="fraction of admitted sessions torn down "
+                             "immediately (default 0.25)")
+
+
+def _build_serve_config(args: argparse.Namespace) -> ServeConfig:
+    return ServeConfig(
+        scenario=args.scenario,
+        seed=args.seed,
+        host=args.host,
+        port=args.port,
+        algorithm=args.algorithm,
+        mode="wall" if args.wall_clock else "sim",
+        tick_minutes=args.tick,
+        telemetry_path=args.telemetry,
+        faults_path=args.faults,
+    )
+
+
+async def _serve_until_signal(config: ServeConfig) -> GridRuntime:
+    runtime = GridRuntime(config)
+    server = ServeServer(runtime, config.host, config.port)
+    await server.start()
+    host, port = server.address
+    grid = runtime.grid
+    print(f"repro serve: scenario={config.scenario!r} seed={config.seed} "
+          f"algorithm={config.algorithm} mode={config.mode}")
+    print(f"  grid: {grid.directory.n_alive} peers, "
+          f"{grid.catalog.n_instances} service instances")
+    print(f"  listening on http://{host}:{port}  (Ctrl-C to stop)")
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loop
+            signal.signal(sig, lambda *_: stop.set())
+    await stop.wait()
+    print("\nshutting down ...")
+    await server.stop()
+    return runtime
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    try:
+        config = _build_serve_config(args)
+        runtime = asyncio.run(_serve_until_signal(config))
+    except (ValueError, OSError) as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 1
+    print(f"served {runtime.n_http_requests} requests "
+          f"({runtime.n_compose} compose, {runtime.n_admitted} admitted, "
+          f"{runtime.n_rejected} rejected, {runtime.n_released} released)")
+    ledger = runtime.grid.ledger
+    print(f"sessions: {ledger.n_admitted} admitted, "
+          f"{ledger.n_completed} completed, {ledger.n_failed} failed, "
+          f"{ledger.n_active} still active")
+    if config.telemetry_path is not None:
+        n = runtime.export_telemetry()
+        print(f"telemetry: {n} events -> {config.telemetry_path}")
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve.loadgen import LoadgenConfig, run_loadgen
+
+    try:
+        config = LoadgenConfig(
+            host=args.host,
+            port=args.port,
+            n_requests=args.n_requests,
+            concurrency=args.concurrency,
+            mode=args.mode,
+            rate_per_sec=args.rate,
+            seed=args.seed,
+            release_ratio=args.release_ratio,
+        )
+        report = run_loadgen(config)
+    except ValueError as exc:
+        print(f"repro loadgen: {exc}", file=sys.stderr)
+        return 1
+    except (TimeoutError, OSError) as exc:
+        print(f"repro loadgen: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    lat = report.latency_summary_us()
+    print(f"loadgen: {report.sent} sent in {report.wall_seconds:.2f}s "
+          f"({report.requests_per_sec:.1f} req/s, mode={config.mode})")
+    print(f"  outcomes: {report.admitted} admitted (ψ={report.psi:.3f}), "
+          f"{report.rejected} rejected, {report.released} released, "
+          f"{report.errors} errors")
+    print(f"  compose RTT: p50={lat['p50']:.0f}µs p95={lat['p95']:.0f}µs "
+          f"p99={lat['p99']:.0f}µs max={lat['max']:.0f}µs")
+    return 1 if report.errors else 0

@@ -1,0 +1,255 @@
+"""A minimal HTTP/1.1 layer on ``asyncio.start_server`` -- no dependencies.
+
+The serving plane deliberately does not pull in aiohttp/FastAPI: the API
+surface is six JSON endpoints, and a hand-rolled request/response pair
+keeps the repo's zero-new-dependency rule intact while remaining small
+enough to test exhaustively.  The layer knows nothing about the grid --
+it parses requests, enforces size limits, handles keep-alive, and hands
+a :class:`HttpRequest` to an async handler that returns a
+:class:`HttpResponse`.  Routing and grid logic live one layer up
+(:mod:`repro.serve.routers`).
+
+Deliberate limitations (documented in docs/serving.md): no TLS, no
+chunked transfer encoding, no multipart -- JSON bodies with a
+``Content-Length`` only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServer",
+    "REASON_PHRASES",
+]
+
+#: Header-block and body ceilings; beyond them the request is refused.
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+REASON_PHRASES: Dict[int, str] = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+}
+
+
+class HttpError(Exception):
+    """A malformed/oversized request the parser refuses."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split target, headers, raw body."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        """Decode the body as JSON (raises :class:`HttpError` 400)."""
+        if not self.body:
+            raise HttpError(400, "request body required")
+        try:
+            return json.loads(self.body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from None
+
+
+@dataclass
+class HttpResponse:
+    """One response: status plus a JSON-able payload."""
+
+    status: int = 200
+    payload: Any = None
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        body = b""
+        if self.payload is not None:
+            body = (json.dumps(self.payload, sort_keys=True) + "\n").encode()
+        reason = REASON_PHRASES.get(self.status, "Unknown")
+        lines = [f"HTTP/1.1 {self.status} {reason}"]
+        headers = {
+            "content-type": "application/json",
+            "content-length": str(len(body)),
+            **self.headers,
+        }
+        lines.extend(f"{k}: {v}" for k, v in headers.items())
+        return ("\r\n".join(lines) + "\r\n\r\n").encode() + body
+
+
+#: The application layer: one async callable per parsed request.
+Handler = Callable[[HttpRequest], Awaitable[HttpResponse]]
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`HttpError` on malformed input (the caller answers
+    with the error status and closes the connection).
+    """
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not request_line.strip():
+        return None  # clean close (or a bare liveness connect)
+    if len(request_line) > MAX_HEADER_BYTES:
+        raise HttpError(400, "request line too long")
+    try:
+        text = request_line.decode("latin-1").strip()
+        method, target, version = text.split(" ", 2)
+    except ValueError:
+        raise HttpError(400, "malformed request line") from None
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+
+    headers: Dict[str, str] = {}
+    total = 0
+    while True:
+        line = await reader.readline()
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise HttpError(400, "header block too large")
+        if line in (b"\r\n", b"\n"):
+            break
+        if not line:
+            raise HttpError(400, "truncated header block")
+        try:
+            name, _, value = line.decode("latin-1").partition(":")
+        except UnicodeDecodeError:
+            raise HttpError(400, "undecodable header") from None
+        if not _:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise HttpError(400, "malformed content-length") from None
+        if length < 0:
+            raise HttpError(400, "negative content-length")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, "request body too large")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise HttpError(400, "truncated request body") from None
+    elif headers.get("transfer-encoding"):
+        raise HttpError(501, "chunked transfer encoding not supported")
+
+    split = urlsplit(target)
+    return HttpRequest(
+        method=method.upper(),
+        path=split.path or "/",
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+class HttpServer:
+    """Accept loop + per-connection request/response cycle."""
+
+    def __init__(self, handler: Handler, host: str, port: int) -> None:
+        self.handler = handler
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        #: Live per-connection tasks (keep-alive loops), cancelled on stop.
+        self._connections: "set[asyncio.Task]" = set()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """Actually bound ``(host, port)`` (resolves ``port=0``)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return str(host), int(port)
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Idle keep-alive connections sit in readline() forever; cancel
+        # them so shutdown leaves no pending tasks behind.
+        pending = [t for t in self._connections if not t.done()]
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        self._connections.clear()
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except HttpError as exc:
+                    writer.write(HttpResponse(
+                        exc.status, {"error": exc.message}
+                    ).encode())
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                response = await self.handler(request)
+                keep_alive = request.headers.get(
+                    "connection", "keep-alive"
+                ).lower() != "close"
+                if not keep_alive:
+                    response.headers.setdefault("connection", "close")
+                writer.write(response.encode())
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # client went away (or the server is stopping)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+            finally:
+                # Deregister last: until here the task still awaits the
+                # transport teardown, and stop() must be able to reap it.
+                if task is not None:
+                    self._connections.discard(task)

@@ -1,0 +1,231 @@
+"""Load generation against a running serving plane.
+
+``repro loadgen`` replays the paper's §4.1 workload over HTTP: each
+generated request draws an application, a QoS level and a session
+duration exactly the way :mod:`repro.workload` does (same
+:class:`~repro.workload.generator.WorkloadConfig` knobs, same seeded
+streams), but delivers it as ``POST /compose`` to a live server instead
+of calling the aggregator in-process.
+
+Two arrival disciplines:
+
+``closed``
+    ``concurrency`` workers each keep exactly one request in flight
+    (classic closed loop) until ``n_requests`` have been sent.  Measures
+    the server's sustained capacity.
+``open``
+    A Poisson dispatcher submits requests at ``rate_per_sec``
+    regardless of completions (open loop, bounded by ``concurrency``
+    in-flight).  Measures behavior under a fixed offered load.
+
+A fraction ``release_ratio`` of admitted sessions is torn down
+immediately via ``DELETE /sessions/{id}``, exercising the full
+compose -> inspect -> release round trip the endpoint contract promises.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.services.applications import default_applications
+from repro.sim.rng import RngStreams
+from repro.workload.generator import WorkloadConfig
+
+__all__ = ["LoadgenConfig", "LoadgenReport", "run_loadgen"]
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One load-generation run."""
+
+    host: str = "127.0.0.1"
+    port: int = 8177
+    #: Total compose requests to send.
+    n_requests: int = 200
+    #: Workers (closed loop) / max in-flight (open loop).
+    concurrency: int = 4
+    #: ``"closed"`` or ``"open"``.
+    mode: str = "closed"
+    #: Offered load for the open loop, requests per wall-clock second.
+    rate_per_sec: float = 50.0
+    #: Seed for the request-parameter draws (application/QoS/duration).
+    seed: int = 0
+    #: Fraction of admitted sessions released immediately afterwards.
+    release_ratio: float = 0.25
+    #: §4.1 workload shape (duration range, QoS levels).  The default
+    #: shortens sessions so a bench run does not saturate the grid.
+    workload: WorkloadConfig = field(
+        default_factory=lambda: WorkloadConfig(duration_range=(1.0, 15.0))
+    )
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"unknown loadgen mode {self.mode!r} (closed/open)")
+        if self.n_requests < 1:
+            raise ValueError("n_requests must be positive")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be positive")
+        if self.rate_per_sec <= 0:
+            raise ValueError("rate_per_sec must be positive")
+        if not 0.0 <= self.release_ratio <= 1.0:
+            raise ValueError("release_ratio must be in [0, 1]")
+
+
+@dataclass
+class LoadgenReport:
+    """What the run measured."""
+
+    sent: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    released: int = 0
+    errors: int = 0
+    wall_seconds: float = 0.0
+    #: Per-request HTTP round-trip times, microseconds (compose only).
+    latencies_us: List[float] = field(default_factory=list)
+
+    @property
+    def requests_per_sec(self) -> float:
+        return self.sent / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def psi(self) -> float:
+        """Serving-side satisfaction ratio: admitted / sent."""
+        return self.admitted / self.sent if self.sent else 0.0
+
+    def latency_summary_us(self) -> Dict[str, float]:
+        values = sorted(self.latencies_us)
+        if not values:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                    "p99": 0.0, "max": 0.0}
+
+        def pct(q: float) -> float:
+            rank = min(len(values) - 1, max(0, round(q / 100 * (len(values) - 1))))
+            return values[rank]
+
+        return {
+            "count": len(values),
+            "mean": sum(values) / len(values),
+            "p50": pct(50), "p95": pct(95), "p99": pct(99),
+            "max": values[-1],
+        }
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "sent": self.sent,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "released": self.released,
+            "errors": self.errors,
+            "psi": self.psi,
+            "wall_seconds": self.wall_seconds,
+            "requests_per_sec": self.requests_per_sec,
+            "latency_us": self.latency_summary_us(),
+        }
+
+
+def _draw_requests(config: LoadgenConfig) -> List[Dict[str, Any]]:
+    """All compose bodies up front, from one seeded stream.
+
+    Drawing before dispatch keeps the request *contents* a pure function
+    of the seed even when worker scheduling interleaves nondeterministically.
+    """
+    rng = RngStreams(config.seed).stream("loadgen")
+    applications = [t.name for t in default_applications()]
+    levels = list(config.workload.qos_levels)
+    lo, hi = config.workload.duration_range
+    bodies = []
+    for _ in range(config.n_requests):
+        bodies.append({
+            "application": applications[int(rng.integers(len(applications)))],
+            "qos_level": str(rng.choice(levels)),
+            "duration": float(rng.uniform(lo, hi)),
+            "release": bool(rng.random() < config.release_ratio),
+        })
+    return bodies
+
+
+def _send_one(
+    config: LoadgenConfig,
+    body: Dict[str, Any],
+    report: LoadgenReport,
+    lock: threading.Lock,
+    clients: threading.local,
+) -> None:
+    from repro.serve.client import ServeApiError, ServeClient
+
+    client: Optional[ServeClient] = getattr(clients, "client", None)
+    if client is None:
+        client = clients.client = ServeClient(config.host, config.port)
+    release = body["release"]
+    try:
+        # Wall-clock RTT measurement: this is the load generator's whole
+        # purpose; it never feeds the seeded event stream.
+        t0 = time.perf_counter()  # lint: disable=DET001 -- client-side RTT measurement
+        payload = client.compose(
+            application=body["application"],
+            qos_level=body["qos_level"],
+            duration=body["duration"],
+        )
+        elapsed_us = (time.perf_counter() - t0) * 1e6  # lint: disable=DET001 -- client-side RTT measurement
+    except (ServeApiError, OSError, TimeoutError):
+        with lock:
+            report.sent += 1
+            report.errors += 1
+        return
+    admitted = bool(payload.get("admitted"))
+    session_id = payload.get("session_id")
+    released = False
+    if admitted and release and session_id is not None:
+        try:
+            client.release(int(session_id))
+            released = True
+        except (ServeApiError, OSError, TimeoutError):
+            pass
+    with lock:
+        report.sent += 1
+        report.latencies_us.append(elapsed_us)
+        if admitted:
+            report.admitted += 1
+            if released:
+                report.released += 1
+        else:
+            report.rejected += 1
+
+
+def run_loadgen(config: LoadgenConfig) -> LoadgenReport:
+    """Drive one run against ``config.host:port``; returns the report."""
+    from repro.serve.client import wait_ready
+
+    wait_ready(config.host, config.port, timeout=30.0)
+    bodies = _draw_requests(config)
+    report = LoadgenReport()
+    lock = threading.Lock()
+    clients = threading.local()
+
+    # The arrival process is wall-clock by definition (it offers load to
+    # a real server); DET001 pragmas mark every read.
+    start = time.perf_counter()  # lint: disable=DET001 -- loadgen wall-clock window
+    with ThreadPoolExecutor(max_workers=config.concurrency) as pool:
+        if config.mode == "closed":
+            futures = [
+                pool.submit(_send_one, config, body, report, lock, clients)
+                for body in bodies
+            ]
+        else:
+            rng = RngStreams(config.seed).stream("loadgen-arrivals")
+            futures = []
+            mean_gap = 1.0 / config.rate_per_sec
+            for body in bodies:
+                futures.append(
+                    pool.submit(_send_one, config, body, report, lock, clients)
+                )
+                time.sleep(float(rng.exponential(mean_gap)))
+        for future in futures:
+            future.result()
+    report.wall_seconds = time.perf_counter() - start  # lint: disable=DET001 -- loadgen wall-clock window
+    return report

@@ -1,0 +1,164 @@
+"""Request validation and JSON views for the serving plane.
+
+Pure functions between the transport (:mod:`repro.serve.http`) and the
+state layer (:mod:`repro.serve.core`): parse and validate the JSON a
+client sent into a typed :class:`ComposeSpec`, and render grid objects
+(sessions, aggregation results, status snapshots) into JSON-able dicts.
+Nothing here touches sockets and nothing here mutates the grid, which
+keeps the contract unit-testable without a server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.core.aggregation import AggregationResult
+from repro.services.applications import QUALITY_LEVELS
+from repro.sessions.session import Session
+
+__all__ = [
+    "ApiError",
+    "ComposeSpec",
+    "compose_view",
+    "parse_compose",
+    "session_view",
+]
+
+#: Sessions may be requested for at most this many simulated minutes
+#: (the paper's workload draws durations from [1, 60]; give clients an
+#: order of magnitude of headroom before calling the request malformed).
+MAX_DURATION_MINUTES = 600.0
+
+
+class ApiError(Exception):
+    """A client error the API layer answers with a 4xx."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass(frozen=True)
+class ComposeSpec:
+    """A validated ``POST /compose`` body."""
+
+    application: str
+    qos_level: str = "average"
+    duration: float = 10.0
+    peer_id: Optional[int] = None
+    out_format: Optional[str] = None
+
+
+_COMPOSE_KEYS = frozenset(
+    {"application", "qos_level", "duration", "peer_id", "out_format"}
+)
+
+
+def parse_compose(payload: Any, known_applications: Any) -> ComposeSpec:
+    """Validate a compose body (raises :class:`ApiError` 400).
+
+    ``known_applications`` is any container of valid application names
+    (the runtime passes the resident grid's template names), so an
+    unknown application is rejected here with a clean 400 instead of
+    surfacing as a KeyError deep inside the QoS compiler.
+    """
+    if not isinstance(payload, dict):
+        raise ApiError(400, "compose body must be a JSON object")
+    unknown = sorted(set(payload) - _COMPOSE_KEYS)
+    if unknown:
+        raise ApiError(400, f"unknown compose fields: {', '.join(unknown)}")
+
+    application = payload.get("application")
+    if not isinstance(application, str) or not application:
+        raise ApiError(400, "'application' (string) is required")
+    if application not in known_applications:
+        raise ApiError(
+            400,
+            f"unknown application {application!r}; "
+            f"available: {', '.join(sorted(known_applications))}",
+        )
+
+    qos_level = payload.get("qos_level", "average")
+    if qos_level not in QUALITY_LEVELS:
+        raise ApiError(
+            400,
+            f"unknown qos_level {qos_level!r}; "
+            f"expected one of {', '.join(sorted(QUALITY_LEVELS))}",
+        )
+
+    duration = payload.get("duration", 10.0)
+    if isinstance(duration, bool) or not isinstance(duration, (int, float)):
+        raise ApiError(400, "'duration' must be a number (sim minutes)")
+    if not duration > 0:
+        raise ApiError(400, "'duration' must be positive")
+    if duration > MAX_DURATION_MINUTES:
+        raise ApiError(
+            400, f"'duration' must be <= {MAX_DURATION_MINUTES} sim minutes"
+        )
+
+    peer_id = payload.get("peer_id")
+    if peer_id is not None and (
+        isinstance(peer_id, bool) or not isinstance(peer_id, int)
+    ):
+        raise ApiError(400, "'peer_id' must be an integer")
+
+    out_format = payload.get("out_format")
+    if out_format is not None and not isinstance(out_format, str):
+        raise ApiError(400, "'out_format' must be a string")
+
+    return ComposeSpec(
+        application=application,
+        qos_level=qos_level,
+        duration=float(duration),
+        peer_id=peer_id,
+        out_format=out_format,
+    )
+
+
+def session_view(
+    session: Session, meta: Dict[str, Any], now: float
+) -> Dict[str, Any]:
+    """An active session as the API reports it."""
+    view: Dict[str, Any] = {
+        "session_id": session.session_id,
+        "request_id": session.request_id,
+        "state": session.state.value,
+        "user_peer": session.user_peer,
+        "peers": list(session.peers),
+        "services": [inst.service for inst in session.instances],
+        "start": session.start,
+        "duration": session.duration,
+        "remaining": max(0.0, session.end - now),
+    }
+    view.update(meta)
+    return view
+
+
+def compose_view(result: AggregationResult) -> Dict[str, Any]:
+    """A ``POST /compose`` outcome (admitted or denied) as JSON."""
+    view: Dict[str, Any] = {
+        "admitted": result.admitted,
+        "status": result.status.value,
+        "request_id": result.request.request_id,
+        "peer_id": result.request.peer_id,
+        "application": result.request.application,
+        "qos_level": result.request.qos_level,
+        "lookup_hops": result.lookup_hops,
+        "random_fallbacks": result.random_fallbacks,
+    }
+    if result.composed is not None:
+        view["path"] = {
+            "services": [inst.service for inst in result.composed.instances],
+            "instances": [
+                inst.instance_id for inst in result.composed.instances
+            ],
+            "score": result.composed.score,
+            "hops": result.composed.hops,
+        }
+    if result.session is not None:
+        view["session_id"] = result.session.session_id
+        view["peers"] = list(result.session.peers)
+        view["expires_at"] = result.session.end
+    return view

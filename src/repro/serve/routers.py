@@ -1,0 +1,200 @@
+"""Route table for the serving plane: paths -> runtime operations.
+
+Follows the DIRAC-style split: the router owns the URL surface and maps
+each request onto exactly one :class:`~repro.serve.core.GridRuntime`
+operation, using :mod:`repro.serve.logic` for parsing and rendering.
+All handlers run under the server's single-writer lock, so they may
+freely mutate the grid.
+
+The API surface (see docs/serving.md):
+
+=========  =====================  ===========================================
+method     path                   operation
+=========  =====================  ===========================================
+``GET``    ``/``                  endpoint index + capability descriptor
+``POST``   ``/compose``           QoS request in -> admitted session/path out
+``GET``    ``/sessions``          list active sessions
+``GET``    ``/sessions/{id}``     inspect one session (active or resolved)
+``DELETE`` ``/sessions/{id}``     release an active session's reservations
+``GET``    ``/status``            grid size, churn generation, cache counters
+``GET``    ``/metrics``           telemetry-bus backed counters/histograms
+=========  =====================  ===========================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
+
+from repro.serve.core import GridRuntime
+from repro.serve.http import HttpError, HttpRequest, HttpResponse
+from repro.serve.logic import ApiError, compose_view, parse_compose, session_view
+
+__all__ = ["Router", "build_router"]
+
+#: A bound handler: path parameters in, response out.
+RouteHandler = Callable[[HttpRequest, Dict[str, str]], Awaitable[HttpResponse]]
+
+
+class Router:
+    """Literal/parameter path matching over a fixed route table."""
+
+    def __init__(self) -> None:
+        #: ``(method, segments, label, handler)`` where a segment like
+        #: ``{id}`` captures one path element.
+        self._routes: List[Tuple[str, Tuple[str, ...], str, RouteHandler]] = []
+
+    def add(self, method: str, pattern: str, handler: RouteHandler) -> None:
+        segments = tuple(s for s in pattern.split("/") if s)
+        self._routes.append((method.upper(), segments, pattern, handler))
+
+    def _match(
+        self, segments: Tuple[str, ...], parts: List[str]
+    ) -> Optional[Dict[str, str]]:
+        if len(segments) != len(parts):
+            return None
+        params: Dict[str, str] = {}
+        for seg, part in zip(segments, parts):
+            if seg.startswith("{") and seg.endswith("}"):
+                params[seg[1:-1]] = part
+            elif seg != part:
+                return None
+        return params
+
+    async def dispatch(self, request: HttpRequest) -> Tuple[HttpResponse, str]:
+        """Answer one request; returns ``(response, route label)``.
+
+        The label is the *pattern* (``/sessions/{id}``, not the concrete
+        path), so telemetry cardinality stays bounded.
+        """
+        parts = [p for p in request.path.split("/") if p]
+        allowed: List[str] = []
+        for method, segments, label, handler in self._routes:
+            params = self._match(segments, parts)
+            if params is None:
+                continue
+            if method != request.method:
+                allowed.append(method)
+                continue
+            try:
+                return await handler(request, params), label
+            except (ApiError, HttpError) as exc:
+                return HttpResponse(exc.status, {"error": exc.message}), label
+            except Exception as exc:  # noqa: BLE001 - the API must answer
+                return (
+                    HttpResponse(
+                        500, {"error": f"{type(exc).__name__}: {exc}"}
+                    ),
+                    label,
+                )
+        if allowed:
+            return (
+                HttpResponse(
+                    405,
+                    {"error": f"method {request.method} not allowed; "
+                              f"use {', '.join(sorted(set(allowed)))}"},
+                ),
+                request.path,
+            )
+        return HttpResponse(404, {"error": f"no route {request.path}"}), request.path
+
+
+def _parse_session_id(params: Dict[str, str]) -> int:
+    raw = params.get("id", "")
+    try:
+        return int(raw)
+    except ValueError:
+        raise ApiError(400, f"session id must be an integer, got {raw!r}") from None
+
+
+def build_router(runtime: GridRuntime) -> Router:
+    """The route table bound to one resident grid."""
+    router = Router()
+    applications = frozenset(t.name for t in runtime.grid.applications)
+
+    async def index(request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        runtime.tick()
+        status = runtime.status()
+        return HttpResponse(200, {
+            "service": status["service"],
+            "endpoints": [
+                "POST /compose",
+                "GET /sessions",
+                "GET /sessions/{id}",
+                "DELETE /sessions/{id}",
+                "GET /status",
+                "GET /metrics",
+            ],
+        })
+
+    async def compose(request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        spec = parse_compose(request.json(), applications)
+        if spec.peer_id is not None and runtime.grid.directory.get(spec.peer_id) is None:
+            raise ApiError(400, f"peer {spec.peer_id} is not alive")
+        result = runtime.compose(
+            application=spec.application,
+            qos_level=spec.qos_level,
+            duration=spec.duration,
+            peer_id=spec.peer_id,
+            out_format=spec.out_format,
+        )
+        status = 201 if result.admitted else 409
+        return HttpResponse(status, compose_view(result))
+
+    async def list_sessions(
+        request: HttpRequest, params: Dict[str, str]
+    ) -> HttpResponse:
+        runtime.tick()
+        now = runtime.grid.sim.now
+        sessions = [
+            session_view(s, runtime.session_meta(s.session_id), now)
+            for s in runtime.active_sessions()
+        ]
+        return HttpResponse(200, {"active": len(sessions), "sessions": sessions})
+
+    async def get_session(
+        request: HttpRequest, params: Dict[str, str]
+    ) -> HttpResponse:
+        runtime.tick()
+        session_id = _parse_session_id(params)
+        kind, session, meta = runtime.find_session(session_id)
+        if kind == "active" and session is not None:
+            view = session_view(session, meta or {}, runtime.grid.sim.now)
+            return HttpResponse(200, view)
+        if kind == "resolved":
+            payload = {"session_id": session_id}
+            payload.update(meta or {})
+            return HttpResponse(200, payload)
+        raise ApiError(404, f"session {session_id} is unknown")
+
+    async def delete_session(
+        request: HttpRequest, params: Dict[str, str]
+    ) -> HttpResponse:
+        session_id = _parse_session_id(params)
+        session = runtime.release(session_id)
+        if session is None:
+            # Not active: a repeat DELETE (idempotent teardown -- nothing
+            # is ever released twice) or a never-admitted id.
+            raise ApiError(404, f"session {session_id} is not active")
+        return HttpResponse(200, {
+            "session_id": session.session_id,
+            "state": session.state.value,
+            "reason": session.failure_reason,
+            "released_at": runtime.grid.sim.now,
+        })
+
+    async def status(request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        runtime.tick()
+        return HttpResponse(200, runtime.status())
+
+    async def metrics(request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        runtime.tick()
+        return HttpResponse(200, runtime.metrics())
+
+    router.add("GET", "/", index)
+    router.add("POST", "/compose", compose)
+    router.add("GET", "/sessions", list_sessions)
+    router.add("GET", "/sessions/{id}", get_session)
+    router.add("DELETE", "/sessions/{id}", delete_session)
+    router.add("GET", "/status", status)
+    router.add("GET", "/metrics", metrics)
+    return router

@@ -44,6 +44,11 @@ class Session:
     duration: float
     state: SessionState = SessionState.ACTIVE
     failure_reason: Optional[str] = None
+    #: Reservation-release latch: set by the ledger the first time this
+    #: session's holds are rolled back, so teardown paths that race (API
+    #: delete vs. scheduled completion vs. recovery) can never
+    #: double-credit the resource books.
+    released: bool = False
 
     @property
     def end(self) -> float:
@@ -97,6 +102,7 @@ class SessionLedger:
         self.n_admitted = 0
         self.n_completed = 0
         self.n_failed = 0
+        self.n_released = 0
 
     # -- admission -----------------------------------------------------------
     def admit(
@@ -155,6 +161,13 @@ class SessionLedger:
 
     # -- lifecycle ---------------------------------------------------------
     def _release(self, session: Session, skip_peer: Optional[int] = None) -> None:
+        # Idempotence guard: a session's holds are released exactly once.
+        # Without it, an API `DELETE /sessions/{id}` racing the scheduled
+        # completion (or a recovery repair) would credit capacity twice
+        # and corrupt the conservation invariant.
+        if session.released:
+            return
+        session.released = True
         held_res = list(zip(session.peers, (i.resources for i in session.instances)))
         held_bw = session.connections()
         rollback_session(
@@ -197,6 +210,52 @@ class SessionLedger:
                 span.end(outcome="completed")
         if self.on_outcome is not None:
             self.on_outcome(session)
+
+    def release_session(self, session_id: int) -> Optional[Session]:
+        """Tear an active session down early at the owner's request.
+
+        This is the serving plane's ``DELETE /sessions/{id}`` path: every
+        end-system and network reservation is rolled back through the
+        same :func:`~repro.sessions.admission.rollback_session` discipline
+        a completion uses, the scheduled completion becomes a no-op (the
+        session is no longer active when it fires), and the outcome is
+        reported as a completion with reason ``"client-release"``.
+
+        Returns the released session, or ``None`` if ``session_id`` is
+        not active (already completed, failed, or released) -- callers
+        can therefore retry the call safely; nothing is ever released
+        twice (see :meth:`_release`).
+        """
+        session = self._active.get(session_id)
+        if session is None:
+            return None
+        session.state = SessionState.COMPLETED
+        session.failure_reason = "client-release"
+        self._release(session)
+        self._detach(session)
+        self.n_completed += 1
+        self.n_released += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "session-released",
+                session_id=session.session_id,
+                request_id=session.request_id,
+            )
+        tel = self.telemetry
+        if tel is not None:
+            tel.metrics.counter("session.released").inc()
+            tel.bus.emit(
+                "session.released",
+                session_id=session.session_id,
+                request_id=session.request_id,
+                held_minutes=self.sim.now - session.start,
+            )
+            span = self._spans.pop(session.session_id, None)
+            if span is not None:
+                span.end(outcome="released")
+        if self.on_outcome is not None:
+            self.on_outcome(session)
+        return session
 
     def fail_session(
         self, session_id: int, reason: str, skip_peer: Optional[int] = None

@@ -20,6 +20,7 @@ kind                  fields
 ``request``           request_id, peer, application, level, status
 ``session-admitted``  session_id, request_id, peers
 ``session-completed`` session_id, request_id
+``session-released``  session_id, request_id
 ``session-failed``    session_id, request_id, reason
 ``session-repaired``  session_id, dead_peer, new_peers
 ``peer-arrived``      peer

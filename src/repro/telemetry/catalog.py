@@ -55,6 +55,14 @@ EVENT_CATALOG: Dict[str, tuple] = {
         "session_id, request_id, reason",
         "session torn down before its end",
     ),
+    "session.released": (
+        "session_id, request_id, held_minutes",
+        "client-initiated early teardown (serving-plane DELETE)",
+    ),
+    "serve.request": (
+        "method, route, status",
+        "the serving plane answered one HTTP API request",
+    ),
     "recovery.repaired": (
         "session_id, dead_peer, latency",
         "runtime failure recovery replaced the departed peer",
@@ -108,6 +116,8 @@ METRIC_CATALOG: Dict[str, tuple] = {
     "session.admitted": ("counter", "sessions admitted"),
     "session.completed": ("counter", "sessions completed"),
     "session.failed": ("counter", "sessions failed"),
+    "session.released": ("counter", "sessions released early by their owner"),
+    "serve.requests": ("counter", "HTTP API requests served"),
     "session.admission_rejected": ("counter", "admissions denied (rolled back)"),
     "recovery.repaired": ("counter", "sessions repaired after a departure"),
     "recovery.failed": ("counter", "repair attempts that gave up"),

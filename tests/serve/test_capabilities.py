@@ -1,0 +1,44 @@
+"""The build/capability descriptor: one source of truth for info + /status."""
+
+import repro
+from repro.capabilities import SERVE_API_VERSION, build_descriptor
+from repro.cli import main
+from repro.faults.plan import FAULT_KINDS
+from repro.perf.harness import SCENARIOS
+
+
+class TestDescriptor:
+    def test_descriptor_shape(self):
+        desc = build_descriptor()
+        assert desc["name"] == "repro"
+        assert desc["version"] == repro.__version__
+        assert desc["serve_api"] == SERVE_API_VERSION
+        assert isinstance(desc["fast_paths_default"], bool)
+        assert desc["fault_kinds"] == sorted(FAULT_KINDS)
+        assert desc["scenarios"] == sorted(SCENARIOS)
+        assert "serving" in desc["scenarios"]
+        assert set(desc["algorithms"]) == {"qsa", "random", "fixed"}
+        assert set(desc["lookup_protocols"]) == {"chord", "can"}
+
+    def test_descriptor_is_json_able(self):
+        import json
+
+        assert json.loads(json.dumps(build_descriptor())) == build_descriptor()
+
+    def test_fresh_dict_per_call(self):
+        a = build_descriptor()
+        b = build_descriptor()
+        assert a == b and a is not b
+        a["scenarios"].append("mutated")
+        assert build_descriptor() == b
+
+
+class TestInfoCommand:
+    def test_info_renders_the_descriptor(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        desc = build_descriptor()
+        assert f"repro {desc['version']}" in out
+        assert desc["serve_api"] in out
+        assert all(kind in out for kind in desc["fault_kinds"])
+        assert all(name in out for name in desc["scenarios"])

@@ -1,0 +1,85 @@
+"""Loadgen integration: real concurrent HTTP traffic against the server."""
+
+import pytest
+
+from repro.serve.loadgen import LoadgenConfig, LoadgenReport, run_loadgen
+
+
+class TestClosedLoop:
+    def test_closed_loop_accounts_every_request(self, server):
+        report = run_loadgen(LoadgenConfig(
+            host=server.host,
+            port=server.port,
+            n_requests=40,
+            concurrency=3,
+            mode="closed",
+            seed=1,
+            release_ratio=0.5,
+        ))
+        assert report.sent == 40
+        assert report.admitted + report.rejected + report.errors == 40
+        assert report.errors == 0
+        assert len(report.latencies_us) == 40
+        assert 0.0 <= report.psi <= 1.0
+        assert report.wall_seconds > 0
+        assert report.requests_per_sec > 0
+        lat = report.latency_summary_us()
+        assert lat["count"] == 40
+        assert 0 < lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
+
+    def test_released_sessions_are_torn_down_on_the_server(self, server):
+        before = server.runtime.n_released
+        report = run_loadgen(LoadgenConfig(
+            host=server.host,
+            port=server.port,
+            n_requests=20,
+            concurrency=2,
+            seed=2,
+            release_ratio=1.0,
+        ))
+        assert report.released == report.admitted > 0
+        assert server.runtime.n_released == before + report.released
+
+
+class TestOpenLoop:
+    def test_open_loop_completes_at_high_offered_rate(self, server):
+        report = run_loadgen(LoadgenConfig(
+            host=server.host,
+            port=server.port,
+            n_requests=15,
+            concurrency=3,
+            mode="open",
+            rate_per_sec=500.0,
+            seed=3,
+            release_ratio=0.0,
+        ))
+        assert report.sent == 15
+        assert report.errors == 0
+        assert report.released == 0
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"mode": "burst"},
+        {"n_requests": 0},
+        {"concurrency": 0},
+        {"rate_per_sec": 0.0},
+        {"release_ratio": 1.5},
+    ])
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LoadgenConfig(**kwargs)
+
+    def test_empty_report_percentiles_are_zero(self):
+        lat = LoadgenReport().latency_summary_us()
+        assert lat == {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                       "p99": 0.0, "max": 0.0}
+
+    def test_request_draws_are_seed_deterministic(self):
+        from repro.serve.loadgen import _draw_requests
+
+        a = _draw_requests(LoadgenConfig(n_requests=30, seed=9))
+        b = _draw_requests(LoadgenConfig(n_requests=30, seed=9))
+        c = _draw_requests(LoadgenConfig(n_requests=30, seed=10))
+        assert a == b
+        assert a != c
