@@ -2,20 +2,32 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-log bench bench-log bench-paper figures \
-        figures-quick examples coverage clean profile perf-record \
-        perf-check lint serve loadgen
+.PHONY: install test test-full test-log bench bench-log bench-paper \
+        figures figures-quick examples coverage clean profile \
+        perf-record perf-check lint serve loadgen
+
+# Coverage floor enforced by `make coverage` and the CI test job.
+COV_MIN ?= 70
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
+# Fast edit-loop lane: skips the multi-second @pytest.mark.slow
+# scenario runs.  CI (and `make test-full`) always runs everything.
 test:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+test-full:
 	$(PYTHON) -m pytest tests/
 
 # Project invariants (repro lint) always run; ruff/mypy run when
 # installed (the pinned dev container ships neither) and their
 # failures still fail the target.
 lint:
+	@tracked=$$(git ls-files | grep -E '(^|/)__pycache__/|\.py[cod]$$' || true); \
+	if [ -n "$$tracked" ]; then \
+		echo "compiled artifacts tracked in git:"; echo "$$tracked"; exit 1; \
+	fi
 	$(PYTHON) -m repro lint src tests
 	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
 		$(PYTHON) -m ruff check src tests || exit 1; \
@@ -70,10 +82,13 @@ examples:
 	for ex in examples/*.py; do echo "== $$ex =="; $(PYTHON) $$ex || exit 1; done
 
 coverage:
-	@$(PYTHON) -c "import pytest_cov" 2>/dev/null \
-		&& $(PYTHON) -m pytest tests/ --cov=repro --cov-report=term-missing \
-		|| { echo "pytest-cov not installed; running plain test suite"; \
-		     $(PYTHON) -m pytest tests/; }
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+		$(PYTHON) -m pytest tests/ --cov=repro --cov-report=term-missing \
+			--cov-fail-under=$(COV_MIN) || exit 1; \
+	else \
+		echo "pytest-cov not installed; running plain test suite"; \
+		$(PYTHON) -m pytest tests/; \
+	fi
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache

@@ -23,19 +23,20 @@ BENCH_ORDER = {
     "bench_figure7": 2,
     "bench_figure8": 3,
     "bench_qcs_complexity": 4,
-    "bench_probe_overhead": 5,
-    "bench_chord_lookup": 6,
-    "bench_ablation_uptime": 7,
-    "bench_ablation_probe_budget": 8,
-    "bench_ablation_tiers": 9,
-    "bench_can_lookup": 10,
-    "bench_load_balance": 11,
-    "bench_lookup_substrate": 12,
-    "bench_recovery": 13,
-    "bench_sensitivity": 14,
-    "bench_fault_tolerance": 15,
-    "bench_flash_crowd": 16,
-    "bench_latency_aware": 17,
+    "bench_qcs_kernels": 5,
+    "bench_probe_overhead": 6,
+    "bench_chord_lookup": 7,
+    "bench_ablation_uptime": 8,
+    "bench_ablation_probe_budget": 9,
+    "bench_ablation_tiers": 10,
+    "bench_can_lookup": 11,
+    "bench_load_balance": 12,
+    "bench_lookup_substrate": 13,
+    "bench_recovery": 14,
+    "bench_sensitivity": 15,
+    "bench_fault_tolerance": 16,
+    "bench_flash_crowd": 17,
+    "bench_latency_aware": 18,
 }
 
 

@@ -44,5 +44,7 @@ def build_descriptor() -> Dict[str, Any]:
         "fault_kinds": sorted(FAULT_KINDS),
         "scenarios": sorted(SCENARIOS),
         "algorithms": ["fixed", "qsa", "random"],
+        "composition_kernels": ["dijkstra", "dp", "vectorized"],
+        "composition_kernel_default": GridConfig().composition_kernel,
         "lookup_protocols": ["can", "chord"],
     }

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.composition import ComposedPath, CompositionError, compose_qcs
+from repro.core.composition_vec import VectorizedComposer
 from repro.core.qos import QoSVector
 from repro.lookup.cache import CacheStats, trim_mapping
 from repro.core.resources import WeightProfile
@@ -304,12 +305,25 @@ class QSAAggregator(BaseAggregator):
         phi_weights: PhiWeights,
         rng: np.random.Generator,
         uptime_filter: bool = True,
-        composition_method: str = "dp",
+        composition_method: str = "vectorized",
     ) -> None:
         super().__init__(compiler, registry, directory, ledger, rng)
         self.probing = probing
         self.composition_weights = composition_weights
+        if composition_method not in ("vectorized", "dp", "dijkstra"):
+            raise ValueError(
+                f"unknown composition method {composition_method!r} "
+                "(vectorized/dp/dijkstra)"
+            )
         self.composition_method = composition_method
+        # The vectorized kernel's incremental index + plan cache; only
+        # consulted with fast_paths on (off falls back to the memo-free
+        # reference kernel, the exactness ground truth).
+        self._vec: Optional[VectorizedComposer] = (
+            VectorizedComposer(composition_weights)
+            if composition_method == "vectorized"
+            else None
+        )
         self.selector = PeerSelector(
             probing, phi_weights, uptime_filter=uptime_filter
         )
@@ -333,14 +347,20 @@ class QSAAggregator(BaseAggregator):
         request: UserRequest,
     ) -> ComposedPath:
         if not self.fast_paths:
+            # Memo-free ground truth.  The vectorized kernel is itself a
+            # fast path (incremental index + plan cache), so it degrades
+            # to the exact-equivalent reference DP here.
+            method = self.composition_method
             return compose_qcs(
                 path,
                 candidates,
                 user_qos,
                 self.composition_weights,
-                method=self.composition_method,
+                method="dp" if method == "vectorized" else method,
                 telemetry=self.telemetry,
             )
+        if self._vec is not None:
+            return self._compose_vectorized(path, candidates, user_qos)
         edge_cache = self._edge_cache
         before = len(edge_cache)
         composed = compose_qcs(
@@ -373,6 +393,31 @@ class QSAAggregator(BaseAggregator):
         trim_mapping(edge_cache, self.EDGE_CACHE_CAP)
         trim_mapping(self._cost_cache, self.COST_CACHE_CAP)
         trim_mapping(self._row_cache, self.EDGE_CACHE_CAP)
+        return composed
+
+    def _compose_vectorized(
+        self,
+        path: AbstractServicePath,
+        candidates: Dict[str, Tuple[ServiceInstance, ...]],
+        user_qos: QoSVector,
+    ) -> ComposedPath:
+        """The numpy kernel (composition_vec), plan-cache accounting only."""
+        vec = self._vec
+        assert vec is not None
+        stats = vec.plan_stats
+        before_hits, before_misses = stats.hits, stats.misses
+        composed = vec.compose(
+            path, candidates, user_qos, telemetry=self.telemetry
+        )
+        tel = self.telemetry
+        if tel is not None:
+            m = tel.metrics
+            if stats.hits > before_hits:
+                m.counter("cache.qcs_plan.hits").inc(stats.hits - before_hits)
+            if stats.misses > before_misses:
+                m.counter("cache.qcs_plan.misses").inc(
+                    stats.misses - before_misses
+                )
         return composed
 
     def select_peers(

@@ -283,7 +283,19 @@ def _shortest_dijkstra(
                 continue
             cand = score_here + edge_score
             existing = dist.get(nxt)
-            if existing is None or cand < existing[0]:
+            # Tie-break on equal scores toward the smaller predecessor
+            # index: the DP's first-strict-improvement scan keeps the
+            # smallest minimizing index, and edge scores are positive,
+            # so every tying predecessor settles before ``nxt`` pops --
+            # making the three kernels path-identical even on exact
+            # score ties, as the compose_qcs contract promises.
+            if (
+                existing is None
+                or cand < existing[0]
+                or (cand == existing[0]
+                    and existing[1] is not None
+                    and i < existing[1])
+            ):
                 dist[nxt] = (cand, i)
                 heapq.heappush(heap, (cand, layer + 1, j))
     return _extract(graph, dist)
@@ -379,11 +391,14 @@ def compose_qcs(
             m.counter("qcs.compositions").inc()
             m.counter("qcs.graph_nodes").inc(graph.n_nodes)
             m.counter("qcs.graph_edges").inc(graph.n_edges)
+        # One kernel-neutral span name: the exactness contract demands
+        # byte-identical telemetry across kernels (dp / dijkstra /
+        # vectorized), so the solver phase may not leak the method.
         if method == "dp":
-            with tracer.span("qcs.dp"):
+            with tracer.span("qcs.solve"):
                 result = _shortest_dp(graph)
         elif method == "dijkstra":
-            with tracer.span("qcs.dijkstra"):
+            with tracer.span("qcs.solve"):
                 result = _shortest_dijkstra(graph)
         else:
             raise ValueError(

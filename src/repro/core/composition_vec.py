@@ -1,0 +1,492 @@
+"""Vectorized + incremental QCS kernel (the §3.2 algorithm as numpy).
+
+:mod:`repro.core.composition` builds the Fig. 3 consistency graph as
+per-node adjacency lists and relaxes it with a python DP/Dijkstra sweep
+-- ``O(K V^2)`` interpreted python per request.  This module computes
+the *same function* as batched array operations:
+
+* the Eq. 1 ``Qout ⊇ Qin`` consistency checks between two services'
+  instance populations become one boolean **adjacency matrix** per
+  service pair, computed once per (catalog) instance universe and
+  *patched row-by-row* when churn/admission introduces instances the
+  index has not seen (never rebuilt wholesale);
+* the Def. 3.1 sink→source relaxation becomes, per layer, one masked
+  outer add + ``argmin`` row reduction over the scalar
+  :class:`~repro.core.resources.WeightProfile` scores.
+
+Exactness is the contract (docs/performance.md): for identical inputs
+the kernel returns a :class:`~repro.core.composition.ComposedPath` that
+is **bit-identical** to the reference kernels -- same instances, same
+float score, same aggregated tuple -- and emits the same telemetry
+spans/events with the same values.  Two properties make that literal
+instead of approximate:
+
+1. every scalar score is produced by the same
+   ``WeightProfile.score(ResourceTuple(...))`` call the reference cost
+   cache uses, and the relaxation performs the same IEEE adds in the
+   same order (``dist[i] + w[j]`` per candidate edge, min taken over
+   the *summed* values, first-index tie-breaking exactly like the
+   reference DP's strict-improvement scan);
+2. the chosen path's total is re-accumulated through the identical
+   ``zero + e1 + e2 + ...`` :class:`ResourceTuple` chain.
+
+The equivalence property suite
+(``tests/core/test_composition_equivalence.py``) and the fast-path
+differential tests hold all three kernels to that bar.
+
+Incremental maintenance
+-----------------------
+:class:`ConsistencyIndex` keys everything by ``instance_id`` (service
+records are immutable after catalog populate -- the same assumption the
+reference row/edge memos rely on).  Each service's instance *universe*
+carries a generation counter bumped per admission; pair matrices patch
+only the new rows/columns, and the per-``user_qos`` sink rows reuse the
+PR-4 :class:`~repro.lookup.cache.BoundedCache` generation invalidation
+(cleared only when their service's universe actually grew).  Departures
+need no patching at all: a request's candidate sets select matrix
+rows/columns by index, so absent instances are simply never selected.
+
+All caches here are owned and gated by ``QSAAggregator.compose`` (the
+``fast_paths`` gate); with the gate off, composition falls back to the
+memo-free reference kernel.
+"""
+
+# lint: disable-file=CACHE001 -- every cache in this module (pair
+# matrices, sink rows, composition plans) is constructed for and gated
+# by QSAAggregator.compose, which owns the fast_paths switch and falls
+# back to the memo-free reference kernel when it is off; hit paths are
+# counter-only (CacheStats / metrics counters).
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.composition import ComposedPath, CompositionError
+from repro.core.qos import QoSVector, satisfies
+from repro.core.resources import ResourceTuple, WeightProfile
+from repro.lookup.cache import BoundedCache, CacheStats
+from repro.services.model import AbstractServicePath, ServiceInstance
+from repro.telemetry.spans import NULL_TRACER
+
+__all__ = ["ConsistencyIndex", "VectorizedComposer", "compose_qcs_vec"]
+
+
+class _Universe:
+    """One service's known instance population, in admission order.
+
+    ``version`` counts admissions; pair matrices and sink rows record
+    the version they were computed against and patch the difference.
+    """
+
+    __slots__ = ("service", "ids", "instances", "index", "scores", "costs")
+
+    def __init__(self, service: str) -> None:
+        self.service = service
+        self.ids: List[str] = []
+        self.instances: List[ServiceInstance] = []
+        #: instance_id -> stable row/column index.
+        self.index: Dict[str, int] = {}
+        #: Scalar Def. 3.1 scores, aligned with ``instances`` (computed
+        #: by the same WeightProfile.score call as the reference kernel).
+        self.scores: List[float] = []
+        #: Per-instance edge cost tuples ``(R, b)``, aligned.
+        self.costs: List[ResourceTuple] = []
+
+    @property
+    def version(self) -> int:
+        return len(self.ids)
+
+    def admit(self, inst: ServiceInstance, weights: WeightProfile) -> int:
+        """Register one unseen instance; returns its index."""
+        i = len(self.ids)
+        self.index[inst.instance_id] = i
+        self.ids.append(inst.instance_id)
+        self.instances.append(inst)
+        cost = ResourceTuple(inst.resources, inst.bandwidth)
+        self.scores.append(weights.score(cost))
+        self.costs.append(cost)
+        return i
+
+
+class _PairMatrix:
+    """The Eq. 1 adjacency between two universes, patched incrementally.
+
+    ``matrix[i, j]`` answers "may predecessor ``pred.instances[j]`` feed
+    current-layer ``cur.instances[i]``" -- i.e.
+    ``satisfies(pred[j].qout, cur[i].qin)``.  ``sync`` extends the
+    matrix by exactly the rows/columns admitted since the last call.
+    """
+
+    __slots__ = ("matrix", "n_cur", "n_pred", "patched_rows")
+
+    def __init__(self) -> None:
+        self.matrix = np.zeros((0, 0), dtype=bool)
+        self.n_cur = 0
+        self.n_pred = 0
+        self.patched_rows = 0
+
+    def sync(self, cur: _Universe, pred: _Universe) -> np.ndarray:
+        nc, np_ = cur.version, pred.version
+        if nc == self.n_cur and np_ == self.n_pred:
+            return self.matrix
+        grown = np.zeros((nc, np_), dtype=bool)
+        grown[: self.n_cur, : self.n_pred] = self.matrix
+        # New current-layer rows: check against every predecessor.
+        for i in range(self.n_cur, nc):
+            qin = cur.instances[i].qin
+            row = grown[i]
+            for j in range(np_):
+                row[j] = satisfies(pred.instances[j].qout, qin)
+        # New predecessor columns for the pre-existing rows.
+        for j in range(self.n_pred, np_):
+            qout = pred.instances[j].qout
+            for i in range(self.n_cur):
+                grown[i, j] = satisfies(qout, cur.instances[i].qin)
+        self.patched_rows += (nc - self.n_cur) + (np_ - self.n_pred)
+        self.matrix = grown
+        self.n_cur, self.n_pred = nc, np_
+        return self.matrix
+
+
+@dataclass
+class _Plan:
+    """A fully sliced, ready-to-relax composition instance.
+
+    ``layers[0]`` is the user-adjacent service's candidates (reference
+    layer 1), ``layers[-1]`` the source service's.  ``adjacency[t]`` is
+    the boolean matrix from ``layers[t]`` rows to ``layers[t + 1]``
+    predecessor columns; ``sink_mask`` the per-request Eq. 1 check of
+    ``layers[0]`` outputs against the user's QoS vector.
+    """
+
+    layers: List[Tuple[ServiceInstance, ...]]
+    weights: List[np.ndarray]
+    costs: List[List[ResourceTuple]]
+    sink_mask: np.ndarray
+    adjacency: List[np.ndarray]
+    n_nodes: int
+    n_edges: int
+    #: Lazily solved once per plan: the plan key captures the full
+    #: semantic input (services, user QoS, candidate ids) and instance
+    #: records are immutable, so the relaxation's outcome -- and the
+    #: :class:`ComposedPath` built from it -- are constants of the plan.
+    solved: bool = False
+    solution: Optional[Tuple[List[int], float]] = None
+    composed: Optional[ComposedPath] = None
+
+
+class ConsistencyIndex:
+    """Incrementally maintained candidate matrices over the catalog.
+
+    Owns the per-service universes, the pairwise adjacency matrices and
+    the per-``user_qos`` sink rows.  Everything is keyed by
+    ``instance_id`` and assumes service records are immutable after
+    catalog populate (the reference memos' assumption); universes only
+    ever *grow* -- departures are handled by requests simply not
+    selecting the absent rows.
+    """
+
+    #: LRU cap for distinct user-QoS sink rows per service.
+    SINK_CACHE_CAP = 64
+
+    def __init__(self, weights: WeightProfile) -> None:
+        self.weights = weights
+        self._universes: Dict[str, _Universe] = {}
+        self._pairs: Dict[Tuple[str, str], _PairMatrix] = {}
+        #: service -> BoundedCache[user_qos key -> bool sink row].  The
+        #: cache generation is the universe version: admissions clear
+        #: the service's rows (PR-4 generation invalidation) instead of
+        #: any wholesale rebuild of the index.
+        self._sink_rows: Dict[str, BoundedCache] = {}
+        self.sink_stats = CacheStats()
+
+    # -- universe maintenance ------------------------------------------------
+    def universe(self, service: str) -> _Universe:
+        uni = self._universes.get(service)
+        if uni is None:
+            uni = self._universes[service] = _Universe(service)
+        return uni
+
+    def admit_candidates(
+        self, service: str, candidates: Sequence[ServiceInstance]
+    ) -> _Universe:
+        """Register any unseen candidate instances (incremental patch)."""
+        uni = self.universe(service)
+        index = uni.index
+        for inst in candidates:
+            if inst.instance_id not in index:
+                uni.admit(inst, self.weights)
+        return uni
+
+    def pair_matrix(self, cur: _Universe, pred: _Universe) -> np.ndarray:
+        """The synced adjacency matrix between two universes."""
+        key = (cur.service, pred.service)
+        pair = self._pairs.get(key)
+        if pair is None:
+            pair = self._pairs[key] = _PairMatrix()
+        return pair.sync(cur, pred)
+
+    def sink_row(self, uni: _Universe, user_qos: QoSVector) -> np.ndarray:
+        """Boolean "satisfies the user requirement" row over a universe."""
+        cache = self._sink_rows.get(uni.service)
+        if cache is None:
+            cache = self._sink_rows[uni.service] = BoundedCache(
+                self.SINK_CACHE_CAP
+            )
+        cache.check_generation(uni.version)
+        key = user_qos.as_tuple()
+        row = cache.get(key)
+        if row is None:
+            self.sink_stats.misses += 1
+            row = np.fromiter(
+                (satisfies(inst.qout, user_qos) for inst in uni.instances),
+                dtype=bool,
+                count=uni.version,
+            )
+            cache.put(key, row)
+        else:
+            self.sink_stats.hits += 1
+        return row
+
+    @property
+    def patched_rows(self) -> int:
+        """Total adjacency rows/columns patched in (never rebuilt)."""
+        return sum(p.patched_rows for p in self._pairs.values())
+
+    @property
+    def n_pair_matrices(self) -> int:
+        return len(self._pairs)
+
+
+class VectorizedComposer:
+    """QCS over a :class:`ConsistencyIndex`, with a composition-plan LRU.
+
+    A *plan* is the per-request slice of the index: candidate index
+    arrays, adjacency sub-matrices, score vectors and the sink mask.
+    Candidate sets are stable between membership events, so plans are
+    memoized under a key that captures the full semantic input --
+    ``(services, user_qos, per-layer candidate id tuples)`` -- making
+    staleness impossible by construction: any churn/admission that
+    changes a candidate set changes the key.
+    """
+
+    #: LRU cap for memoized composition plans.
+    PLAN_CACHE_CAP = 512
+
+    def __init__(self, weights: WeightProfile) -> None:
+        self.weights = weights
+        self.index = ConsistencyIndex(weights)
+        self._plans = BoundedCache(self.PLAN_CACHE_CAP)
+
+    @property
+    def plan_stats(self) -> CacheStats:
+        return self._plans.stats
+
+    def invalidate_plans(self) -> None:
+        """Drop every memoized plan (the incremental index is kept).
+
+        Plans can never go stale -- their key captures the full semantic
+        input -- so this exists for memory pressure and for benchmarks
+        that want to time the plan-miss path; hit/miss stats survive.
+        """
+        self._plans.clear()
+
+    # -- plan construction ---------------------------------------------------
+    def _build_plan(
+        self,
+        path: AbstractServicePath,
+        layer_candidates: List[Tuple[ServiceInstance, ...]],
+        user_qos: QoSVector,
+    ) -> _Plan:
+        index = self.index
+        layers: List[Tuple[ServiceInstance, ...]] = []
+        weights_per_layer: List[np.ndarray] = []
+        costs_per_layer: List[List[ResourceTuple]] = []
+        adjacency: List[np.ndarray] = []
+        universes: List[_Universe] = []
+        idx_arrays: List[np.ndarray] = []
+
+        for service, cands in zip(path.reversed(), layer_candidates):
+            uni = index.admit_candidates(service, cands)
+            uindex = uni.index
+            rows = [uindex[inst.instance_id] for inst in cands]
+            scores = uni.scores
+            costs = uni.costs
+            layers.append(cands)
+            weights_per_layer.append(
+                np.array([scores[i] for i in rows], dtype=np.float64)
+            )
+            costs_per_layer.append([costs[i] for i in rows])
+            universes.append(uni)
+            idx_arrays.append(np.asarray(rows, dtype=np.intp))
+
+        for t in range(len(layers) - 1):
+            full = index.pair_matrix(universes[t], universes[t + 1])
+            adjacency.append(full[np.ix_(idx_arrays[t], idx_arrays[t + 1])])
+
+        sink_full = index.sink_row(universes[0], user_qos)
+        sink_mask = sink_full[idx_arrays[0]]
+
+        n_nodes = 1 + sum(len(layer) for layer in layers)
+        n_edges = int(sink_mask.sum()) + sum(
+            int(a.sum()) for a in adjacency
+        )
+        return _Plan(
+            layers=layers,
+            weights=weights_per_layer,
+            costs=costs_per_layer,
+            sink_mask=sink_mask,
+            adjacency=adjacency,
+            n_nodes=n_nodes,
+            n_edges=n_edges,
+        )
+
+    def _plan_for(
+        self,
+        path: AbstractServicePath,
+        candidates: Mapping[str, Sequence[ServiceInstance]],
+        user_qos: QoSVector,
+    ) -> _Plan:
+        layer_candidates: List[Tuple[ServiceInstance, ...]] = []
+        key_parts: List[Hashable] = [path.services, user_qos.as_tuple()]
+        for service in path.reversed():
+            cands = tuple(candidates.get(service, ()))
+            if not cands:
+                raise CompositionError(
+                    f"no candidate instances discovered for service {service!r}"
+                )
+            layer_candidates.append(cands)
+            key_parts.append(tuple(inst.instance_id for inst in cands))
+        key = tuple(key_parts)
+        plan = self._plans.get(key)
+        if plan is None:
+            self._plans.stats.misses += 1
+            plan = self._build_plan(path, layer_candidates, user_qos)
+            self._plans.put(key, plan)
+        else:
+            self._plans.stats.hits += 1
+        return plan
+
+    # -- the relaxation ------------------------------------------------------
+    @staticmethod
+    def _solve(plan: _Plan) -> Optional[Tuple[List[int], float]]:
+        """Sink→source sweep; returns per-layer choices + score, or None.
+
+        Performs the identical IEEE adds as the reference DP (``dist[i]
+        + w[j]`` per consistent edge, minimum over the summed values)
+        and the identical first-index tie-breaking (``np.argmin``
+        returns the first occurrence of the minimum; the reference scan
+        only replaces on strict improvement).
+        """
+        dist = np.where(
+            plan.sink_mask, 0.0 + plan.weights[0], np.inf
+        )
+        preds: List[np.ndarray] = []
+        for t in range(len(plan.layers) - 1):
+            cand = dist[:, None] + plan.weights[t + 1][None, :]
+            masked = np.where(plan.adjacency[t], cand, np.inf)
+            best = np.argmin(masked, axis=0)
+            dist = masked[best, np.arange(masked.shape[1])]
+            preds.append(best)
+        j = int(np.argmin(dist)) if dist.size else 0
+        if not dist.size or not np.isfinite(dist[j]):
+            return None
+        score = float(dist[j])
+        indices = [0] * len(plan.layers)
+        indices[-1] = j
+        for t in range(len(plan.layers) - 2, -1, -1):
+            j = int(preds[t][j])
+            indices[t] = j
+        return indices, score
+
+    # -- public API ----------------------------------------------------------
+    def compose(
+        self,
+        path: AbstractServicePath,
+        candidates: Mapping[str, Sequence[ServiceInstance]],
+        user_qos: QoSVector,
+        telemetry: Optional[Any] = None,
+    ) -> ComposedPath:
+        """Run vectorized QCS; the exact contract of ``compose_qcs``.
+
+        Raises :class:`CompositionError` for missing candidates or an
+        infeasible requirement, and emits the same telemetry spans
+        (``qcs.compose`` / ``qcs.graph_build`` / ``qcs.solve``),
+        counters and bus events as the reference kernels.
+        """
+        tracer = telemetry.tracer if telemetry is not None else NULL_TRACER
+        with tracer.span("qcs.compose", application=path.application):
+            with tracer.span("qcs.graph_build"):
+                plan = self._plan_for(path, candidates, user_qos)
+            if telemetry is not None:
+                m = telemetry.metrics
+                m.counter("qcs.compositions").inc()
+                m.counter("qcs.graph_nodes").inc(plan.n_nodes)
+                m.counter("qcs.graph_edges").inc(plan.n_edges)
+            with tracer.span("qcs.solve"):
+                if not plan.solved:
+                    plan.solution = self._solve(plan)
+                    plan.solved = True
+                result = plan.solution
+        if result is None:
+            if telemetry is not None:
+                telemetry.metrics.counter("qcs.no_path").inc()
+                telemetry.bus.emit(
+                    "qcs.failed",
+                    application=path.application,
+                    n_nodes=plan.n_nodes,
+                    n_edges=plan.n_edges,
+                )
+            raise CompositionError(
+                f"no QoS-consistent service path for application "
+                f"{path.application!r} at requirement {user_qos!r}"
+            )
+        composed = plan.composed
+        if composed is None:
+            indices, score = result
+            chosen_reverse = [
+                plan.layers[t][indices[t]] for t in range(len(indices))
+            ]
+            total = ResourceTuple.zero(self.weights.resource_names)
+            for t, choice in enumerate(indices):
+                total = total + plan.costs[t][choice]
+            composed = ComposedPath(
+                instances=tuple(reversed(chosen_reverse)),
+                total=total,
+                score=score,
+            )
+            plan.composed = composed
+        if telemetry is not None:
+            telemetry.bus.emit(
+                "qcs.composed",
+                application=path.application,
+                n_nodes=plan.n_nodes,
+                n_edges=plan.n_edges,
+                score=composed.score,
+                hops=composed.hops,
+            )
+        return composed
+
+
+def compose_qcs_vec(
+    path: AbstractServicePath,
+    candidates: Mapping[str, Sequence[ServiceInstance]],
+    user_qos: QoSVector,
+    weights: WeightProfile,
+    composer: Optional[VectorizedComposer] = None,
+    telemetry: Optional[Any] = None,
+) -> ComposedPath:
+    """One-shot convenience wrapper (tests, tools).
+
+    Long-lived callers (the aggregator) should hold a
+    :class:`VectorizedComposer` so the incremental index and plan cache
+    amortize across requests; this wrapper builds a throwaway one.
+    """
+    if composer is None:
+        composer = VectorizedComposer(weights)
+    elif composer.weights is not weights:
+        raise ValueError("composer was built for a different WeightProfile")
+    return composer.compose(path, candidates, user_qos, telemetry=telemetry)

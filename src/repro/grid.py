@@ -122,6 +122,16 @@ class GridConfig:
     #: differential test); off trades wall-clock speed for simpler
     #: debugging.  See docs/performance.md.
     fast_paths: bool = True
+    #: QCS composition kernel for the ``qsa`` aggregator:
+    #: ``"vectorized"`` (numpy candidate matrices + incremental
+    #: consistency index, see repro.core.composition_vec), ``"dp"``
+    #: (reference layered-DAG sweep) or ``"dijkstra"`` (the paper's
+    #: formulation).  All three are exact-equivalent (bit-identical
+    #: paths, scores and telemetry -- proven by
+    #: tests/core/test_composition_equivalence.py); the vectorized
+    #: kernel additionally requires ``fast_paths`` and degrades to the
+    #: reference DP when the gate is off.
+    composition_kernel: str = "vectorized"
     #: Fault injection plan; ``None`` (or an empty plan) keeps every
     #: substrate operation reliable and the fast paths fault-check-free.
     faults: Optional[FaultPlan] = None
@@ -138,6 +148,11 @@ class GridConfig:
         lo, hi = self.capacity_range
         if not 0 < lo <= hi:
             raise ValueError(f"bad capacity range ({lo}, {hi})")
+        if self.composition_kernel not in ("vectorized", "dp", "dijkstra"):
+            raise ValueError(
+                f"unknown composition kernel {self.composition_kernel!r} "
+                "(vectorized/dp/dijkstra)"
+            )
 
 
 class P2PGrid:
@@ -406,7 +421,9 @@ class P2PGrid:
                 options.pop("phi_weights", self.phi_weights),
                 rng,
                 uptime_filter=options.pop("uptime_filter", True),
-                composition_method=options.pop("composition_method", "dp"),
+                composition_method=options.pop(
+                    "composition_method", self.config.composition_kernel
+                ),
             )
         if name == "random":
             return RandomAggregator(

@@ -88,6 +88,27 @@ class Scenario:
             )
 
 
+def _compose_stress(seed: int) -> ExperimentConfig:
+    # Composition-bound: 3-5x the default candidate instances per
+    # abstract service makes the QCS kernel (graph build + relaxation)
+    # dominate each request, so this scenario isolates the compose
+    # kernel's throughput the way `heavy` isolates admission contention.
+    from repro.services.catalog import CatalogConfig
+
+    return ExperimentConfig(
+        grid=GridConfig(
+            n_peers=1000,
+            probing=ProbingConfig(budget=10),
+            catalog=CatalogConfig(instances_per_service=(50, 60)),
+            seed=seed,
+        ),
+        workload=WorkloadConfig(
+            rate_per_min=120.0, horizon=15.0, duration_range=(1.0, 8.0)
+        ),
+        drain_minutes=10.0,
+    )
+
+
 def _smoke(seed: int) -> ExperimentConfig:
     # Deliberately tiny: a few hundred peers, short horizon, short
     # sessions -- the CI perf-smoke job runs this on every push.
@@ -123,6 +144,12 @@ SCENARIOS: Dict[str, Scenario] = {
         "4x request rate, the contention regime of Fig. 5's right edge",
         lambda seed: default_scale(400.0, 20.0, 0.0, seed),
     ),
+    "compose-stress": Scenario(
+        "compose-stress",
+        "composition-bound load: 50-60 candidate instances per service "
+        "so the QCS kernel dominates each request",
+        _compose_stress,
+    ),
     "serving": Scenario(
         "serving",
         "closed-loop HTTP serving: compose/release over real TCP "
@@ -132,7 +159,9 @@ SCENARIOS: Dict[str, Scenario] = {
 }
 
 #: Scenarios a bare ``repro perf record`` runs (smoke stays CI-only).
-DEFAULT_SCENARIOS: Tuple[str, ...] = ("baseline", "churn", "heavy", "serving")
+DEFAULT_SCENARIOS: Tuple[str, ...] = (
+    "baseline", "churn", "heavy", "compose-stress", "serving"
+)
 
 
 def _record_serving(seed: int, algorithm: str) -> Dict:
@@ -174,6 +203,10 @@ def record_bench(
         config = scenario.make(seed).with_algorithm(algorithm)
         result, report = profile_run(config)
         p = report.latency_percentiles()
+        compose_spans = [
+            r for r in report.wall_spans if r.name == "qcs.compose"
+        ]
+        compose_wall = sum(r.end - r.start for r in compose_spans)
         scenarios[name] = {
             "description": scenario.description,
             "n_peers": config.grid.n_peers,
@@ -212,6 +245,19 @@ def record_bench(
                 ),
             },
             "n_admitted": result.n_admitted,
+            # Additive: the QCS kernel's share of the run, from the
+            # wall-span mirror -- the BENCH_3 speedup evidence compares
+            # this block across composition kernels.
+            "compose_kernel": {
+                "kernel": config.grid.composition_kernel,
+                "compositions": len(compose_spans),
+                "wall_seconds": compose_wall,
+                "per_sec": (
+                    len(compose_spans) / compose_wall
+                    if compose_wall > 0
+                    else 0.0
+                ),
+            },
         }
     doc = {
         "schema": BENCH_SCHEMA,
@@ -426,4 +472,16 @@ def compare_benches(
                 f"{cache['cached'] + cache['routed']} hits "
                 f"({cache['hit_rate']:.1%})"
             )
+        o_ck, n_ck = o.get("compose_kernel"), n.get("compose_kernel")
+        if n_ck is not None and n_ck["compositions"]:
+            text = (
+                f"{name}: compose kernel [{n_ck['kernel']}] "
+                f"{n_ck['per_sec']:.0f} compositions/s"
+            )
+            if o_ck is not None and o_ck["per_sec"] > 0:
+                text += (
+                    f" (was [{o_ck['kernel']}] {o_ck['per_sec']:.0f}, "
+                    f"{n_ck['per_sec'] / o_ck['per_sec']:.2f}x)"
+                )
+            comp.notes.append(text)
     return comp

@@ -111,6 +111,8 @@ METRIC_CATALOG: Dict[str, tuple] = {
     "cache.record.misses": ("counter", "registry reads that routed to the DHT"),
     "cache.qcs_edge.hits": ("counter", "QCS consistency edges reused across compositions"),
     "cache.qcs_edge.misses": ("counter", "QCS consistency edges computed fresh"),
+    "cache.qcs_plan.hits": ("counter", "vectorized-QCS composition plans reused"),
+    "cache.qcs_plan.misses": ("counter", "vectorized-QCS composition plans sliced fresh"),
     "discovery.routed": ("counter", "discoveries that paid a routed walk"),
     "discovery.cached": ("counter", "discoveries served from cache/dedupe"),
     "session.admitted": ("counter", "sessions admitted"),
@@ -138,8 +140,11 @@ SPAN_CATALOG: Dict[str, str] = {
     "request": "one user request's whole setup pipeline",
     "qcs.compose": "QoS-consistent composition for one request",
     "qcs.graph_build": "consistency-graph construction inside qcs.compose",
-    "qcs.dp": "dynamic-programming sweep inside qcs.compose",
-    "qcs.dijkstra": "Dijkstra sweep inside qcs.compose (method=dijkstra)",
+    "qcs.solve": (
+        "shortest-path sweep inside qcs.compose (kernel-neutral: the "
+        "dp, dijkstra and vectorized kernels all emit this name so "
+        "their telemetry exports stay byte-identical)"
+    ),
     "lookup.candidates": "DHT candidate discovery for one request",
     "lookup.hosts": "DHT host-record fetches for the composed path",
     "selection": "the Φ/uptime peer-selection walk over all hops",

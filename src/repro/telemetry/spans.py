@@ -7,7 +7,7 @@ trace tree::
         with tracer.span("qcs.compose"):
             with tracer.span("qcs.graph_build"):
                 ...
-            with tracer.span("qcs.dp"):
+            with tracer.span("qcs.solve"):
                 ...
 
 Two flavours:

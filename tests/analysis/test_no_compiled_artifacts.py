@@ -1,0 +1,43 @@
+"""Guard: no compiled python artifacts may ever be committed again.
+
+PR 7 purged the historically tracked ``__pycache__/*.pyc`` files and
+added ``.gitignore`` coverage; this test (and the matching CI lint-job
+step) keeps the tree clean by failing if ``git ls-files`` ever reports
+a bytecode file or ``__pycache__`` directory as tracked.
+"""
+
+import re
+import subprocess
+
+import pytest
+
+_COMPILED = re.compile(r"(^|/)__pycache__(/|$)|\.py[cod]$|\$py\.class$")
+
+
+def _tracked_files():
+    try:
+        proc = subprocess.run(
+            ["git", "ls-files"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=True,
+        )
+    except (OSError, subprocess.SubprocessError):
+        pytest.skip("not a git checkout (or git unavailable)")
+    return proc.stdout.splitlines()
+
+
+def test_no_compiled_artifacts_tracked():
+    offenders = [f for f in _tracked_files() if _COMPILED.search(f)]
+    assert not offenders, (
+        "compiled artifacts tracked in git (remove with "
+        f"`git rm --cached`): {offenders[:10]}"
+    )
+
+
+def test_gitignore_covers_bytecode():
+    ignored = {"__pycache__/", "*.py[cod]"}
+    with open(".gitignore", encoding="utf-8") as fh:
+        lines = {line.strip() for line in fh}
+    assert ignored <= lines, f".gitignore missing {ignored - lines}"

@@ -40,6 +40,7 @@ class TestSweepMachinery:
         assert sweep.winner_at(0) == "qsa"
 
 
+@pytest.mark.slow
 class TestFigureShapes:
     @pytest.fixture(scope="class")
     def mini_fig5(self):

@@ -72,12 +72,14 @@ def _assert_equivalent(results, exports):
     assert off.n_cached_discoveries == 0
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("protocol", ["chord", "can"])
 def test_fast_paths_differential(tmp_path, protocol):
     results, exports = _run_pair(tmp_path, protocol=protocol)
     _assert_equivalent(results, exports)
 
 
+@pytest.mark.slow
 def test_fast_paths_differential_under_churn(tmp_path):
     results, exports = _run_pair(tmp_path, churn_rate=5.0)
     _assert_equivalent(results, exports)

@@ -148,6 +148,7 @@ class TestConservationUnderRecovery:
             assert peer.avail_up == pytest.approx(peer.access_bw)
             assert peer.avail_down == pytest.approx(peer.access_bw)
 
+    @pytest.mark.slow
     def test_recovery_improves_psi_under_churn(self):
         from repro.experiments.config import ExperimentConfig
         from repro.experiments.runner import run_experiment

@@ -7,6 +7,8 @@ must be released.  This is the recovery analogue of
 ``test_conservation.py`` (which covers the no-recovery ledger).
 """
 
+import pytest
+
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
@@ -33,6 +35,7 @@ def check_invariants(grid):
             )
 
 
+@pytest.mark.slow
 @settings(max_examples=15, deadline=None)
 @given(events, st.integers(0, 10_000))
 def test_recovery_conserves_under_random_schedules(schedule, seed):

@@ -35,7 +35,7 @@ def request_tree():
         span("request", 0, None, 0.0, 10.0),
         span("qcs.compose", 1, 0, 0.0, 6.0),
         span("qcs.graph_build", 2, 1, 0.0, 2.0),
-        span("qcs.dp", 3, 1, 2.0, 6.0),
+        span("qcs.solve", 3, 1, 2.0, 6.0),
         span("probing.resolve", 4, 0, 6.0, 9.0),
     ]
 
@@ -50,7 +50,7 @@ class TestForest:
             "qcs.compose", "probing.resolve"
         ]
         assert [c.name for c in root.children[0].children] == [
-            "qcs.graph_build", "qcs.dp"
+            "qcs.graph_build", "qcs.solve"
         ]
 
     def test_orphan_parent_becomes_root(self):
@@ -88,7 +88,7 @@ class TestForest:
         root = build_forest(request_tree())[0]
         names = [n.name for n in root.walk()]
         assert names == [
-            "request", "qcs.compose", "qcs.graph_build", "qcs.dp",
+            "request", "qcs.compose", "qcs.graph_build", "qcs.solve",
             "probing.resolve",
         ]
 
@@ -140,14 +140,14 @@ class TestAggregation:
         stats = aggregate_spans(build_forest(request_tree()))
         assert stats["request"].count == 1
         assert stats["request"].total == pytest.approx(10.0)
-        assert stats["qcs.dp"].self_total == pytest.approx(4.0)
+        assert stats["qcs.solve"].self_total == pytest.approx(4.0)
         assert stats["qcs.compose"].self_total == pytest.approx(0.0)
 
     def test_table_sorted_by_self_time(self):
         stats = aggregate_spans(build_forest(request_tree()))
         table = format_span_table(stats, unit="min")
         rows = table.splitlines()[1:]
-        assert rows[0].startswith("qcs.dp")  # largest self time first
+        assert rows[0].startswith("qcs.solve")  # largest self time first
 
     def test_empty_table(self):
         assert format_span_table({}, unit="s") == "(no spans)"
@@ -157,13 +157,13 @@ class TestCriticalPath:
     def test_follows_largest_duration_child(self):
         root = build_forest(request_tree())[0]
         chain = [n.name for n in critical_path(root)]
-        assert chain == ["request", "qcs.compose", "qcs.dp"]
+        assert chain == ["request", "qcs.compose", "qcs.solve"]
 
     def test_phase_report_names_dominant_phase(self):
         report = phase_report(build_forest(request_tree()))
         assert "1 'request' trees" in report
-        # qcs.dp holds 4 of 10 units of self time -> the dominant phase.
-        assert "qcs.dp" in report
+        # qcs.solve holds 4 of 10 units of self time -> the dominant phase.
+        assert "qcs.solve" in report
         assert "dominant phase per tree" in report
         assert "critical path of slowest tree" in report
 
@@ -195,7 +195,7 @@ class TestFlameExport:
 
     def test_weights_are_scaled_self_times(self):
         stacks = folded_stacks(build_forest(request_tree()))
-        assert stacks["request;qcs.compose;qcs.dp"] == 4_000_000
+        assert stacks["request;qcs.compose;qcs.solve"] == 4_000_000
         assert stacks["request"] == 1_000_000
         # Zero-self-time frames are omitted entirely.
         assert "request;qcs.compose" not in stacks

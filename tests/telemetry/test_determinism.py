@@ -7,6 +7,8 @@ for regression hunting.  Wall-clock span durations exist only in the
 in-process aggregates and must never reach the stream.
 """
 
+import pytest
+
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
 from repro.faults import FaultPlan, FaultSpec
@@ -101,6 +103,7 @@ class TestFaultedStreamsAreByteIdentical:
         c, _ = export_bytes(3, tmp_path, "c", faults=other)
         assert a != c
 
+    @pytest.mark.slow
     def test_no_plan_differs_from_faulted(self, tmp_path):
         a, res_a = export_bytes(3, tmp_path, "a", faults=PLAN)
         d, res_d = export_bytes(3, tmp_path, "d")

@@ -44,12 +44,14 @@ class TestRunDeterminism:
         b = run_experiment(config().with_algorithm(algorithm))
         assert fingerprint(a) == fingerprint(b)
 
+    @pytest.mark.slow
     def test_identical_under_churn(self):
         a = run_experiment(config(churn=5.0).with_algorithm("qsa"))
         b = run_experiment(config(churn=5.0).with_algorithm("qsa"))
         assert fingerprint(a) == fingerprint(b)
         assert (a.n_arrivals, a.n_departures) == (b.n_arrivals, b.n_departures)
 
+    @pytest.mark.slow
     def test_identical_on_can(self):
         a = run_experiment(config(lookup="can").with_algorithm("qsa"))
         b = run_experiment(config(lookup="can").with_algorithm("qsa"))

@@ -2,6 +2,8 @@
 consistency of heavy churny workloads on both DHT substrates."""
 
 
+import pytest
+
 from repro.diagnostics import check_grid_invariants
 from repro.grid import GridConfig, P2PGrid
 from repro.network.churn import ChurnConfig
@@ -48,6 +50,7 @@ class TestCleanGrids:
         grid.churn.stop()
         assert check_grid_invariants(grid) == []
 
+    @pytest.mark.slow
     def test_can_grid_clean_under_churn(self):
         grid = P2PGrid(GridConfig(
             n_peers=120, seed=5,
