@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: install test test-full test-log bench bench-log bench-paper \
         figures figures-quick examples coverage clean profile \
-        perf-record perf-check lint serve loadgen
+        perf-record perf-check lint serve loadgen top soak
 
 # Coverage floor enforced by `make coverage` and the CI test job.
 COV_MIN ?= 70
@@ -71,6 +71,16 @@ serve:
 
 loadgen:
 	PYTHONPATH=src $(PYTHON) -m repro loadgen $(LOADGEN_ARGS)
+
+# Live operator view of a running server (docs/observability.md):
+# windowed rates, SLO burn, worst traces.  `make top TOP_ARGS="--port 9000"`.
+top:
+	PYTHONPATH=src $(PYTHON) -m repro top $(TOP_ARGS)
+
+# Sustained-load soak with RSS/latency drift detection against a running
+# server; `make soak SOAK_ARGS="--duration 60 --rate 50"`.
+soak:
+	PYTHONPATH=src $(PYTHON) -m repro loadgen --soak $(SOAK_ARGS)
 
 figures:
 	$(PYTHON) examples/paper_figures.py

@@ -2,12 +2,15 @@
 
 Forward direction (per file): every event name passed as a literal to a
 bus emit (``*.bus.emit("name", ...)`` / ``*.emit_event("name", ...)``)
-must exist in ``EVENT_CATALOG``, and every span name opened on a tracer
+must exist in ``EVENT_CATALOG``, every span name opened on a tracer
 (``*.tracer.span("name")`` / ``*.tracer.open("name")``) must exist in
-``SPAN_CATALOG``.  Reverse direction (whole scan): every catalog entry
-must be emitted by at least one literal site, so the catalog cannot
-accumulate dead events that the docs and ``repro telemetry catalog``
-keep advertising.
+``SPAN_CATALOG``, every SLO declared with ``Objective(name=...)`` must
+exist in ``SLO_CATALOG``, and every derived windowed series declared
+with ``*windows.track("name")`` must be a window-kind entry of
+``METRIC_CATALOG``.  Reverse direction (whole scan): every catalog
+entry of those four kinds must be used by at least one literal site,
+so the catalog cannot accumulate dead names that the docs and ``repro
+telemetry catalog`` keep advertising.
 
 The reverse check only activates when the scan clearly covered the
 whole package (the catalog module *and* the main instrumentation
@@ -27,12 +30,14 @@ from repro.analysis.registry import Rule, register
 
 _EVENTS_KEY = "tel:event_emits"
 _SPANS_KEY = "tel:span_uses"
+_SLOS_KEY = "tel:slo_declares"
+_WINDOWS_KEY = "tel:window_tracks"
 _CATALOG_KEY = "tel:catalog_entries"
 
 #: pkg paths whose presence marks a whole-package scan (reverse check).
 _FULL_SCAN_MARKERS = frozenset({
     "telemetry/catalog.py", "grid.py", "core/aggregation.py",
-    "sessions/session.py",
+    "sessions/session.py", "telemetry/slo.py", "serve/observability.py",
 })
 
 
@@ -50,17 +55,45 @@ def _literal_name(call: ast.Call) -> Optional[str]:
 def _catalog_entries(ctx: FileContext) -> List[Tuple[str, str, int]]:
     """``(kind, name, line)`` for the catalog module's dict literals."""
     out: List[Tuple[str, str, int]] = []
-    kinds = {"EVENT_CATALOG": "event", "SPAN_CATALOG": "span"}
+    kinds = {"EVENT_CATALOG": "event", "SPAN_CATALOG": "span",
+             "SLO_CATALOG": "slo", "METRIC_CATALOG": "metric"}
     for node in ctx.walk(ast.Assign, ast.AnnAssign):
         targets = node.targets if isinstance(node, ast.Assign) else [node.target]
         names = [t.id for t in targets if isinstance(t, ast.Name)]
         kind = next((kinds[n] for n in names if n in kinds), None)
         if kind is None or not isinstance(node.value, ast.Dict):
             continue
-        for key in node.value.keys:
-            if isinstance(key, ast.Constant) and isinstance(key.value, str):
-                out.append((kind, key.value, key.lineno))
+        for key, value in zip(node.value.keys, node.value.values):
+            if not (isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)):
+                continue
+            if kind == "metric":
+                # Only window-kind metrics have a literal declaration
+                # site (``track(...)``); cumulative instruments are
+                # created lazily by name and stay out of the check.
+                if _metric_kind(value) == "window":
+                    out.append(("window", key.value, key.lineno))
+                continue
+            out.append((kind, key.value, key.lineno))
     return out
+
+
+def _metric_kind(value: ast.AST) -> Optional[str]:
+    """The kind string of one ``METRIC_CATALOG`` value tuple."""
+    if isinstance(value, ast.Tuple) and value.elts \
+            and isinstance(value.elts[0], ast.Constant) \
+            and isinstance(value.elts[0].value, str):
+        return value.elts[0].value
+    return None
+
+
+def _window_metric_names() -> frozenset:
+    from repro.telemetry.catalog import METRIC_CATALOG
+
+    return frozenset(
+        name for name, (kind, *_rest) in METRIC_CATALOG.items()
+        if kind == "window"
+    )
 
 
 @register
@@ -76,7 +109,7 @@ class CatalogTwoWay(Rule):
         return not ctx.is_tests and not ctx.is_benchmarks
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
-        from repro.telemetry.catalog import EVENT_CATALOG, SPAN_CATALOG
+        from repro.telemetry.catalog import EVENT_CATALOG, SLO_CATALOG, SPAN_CATALOG
 
         if ctx.pkg == "telemetry/catalog.py":
             for entry in _catalog_entries(ctx):
@@ -84,10 +117,36 @@ class CatalogTwoWay(Rule):
             return
         for node in ctx.walk(ast.Call):
             chain = ctx.call_chain(node)
+            if not chain:
+                continue
+            if chain[-1] == "Objective":
+                name = _literal_name(node)
+                if name is not None:
+                    ctx.contribute(_SLOS_KEY, name)
+                    if name not in SLO_CATALOG:
+                        yield ctx.finding(
+                            self, node,
+                            f"SLO name {name!r} is not in "
+                            "telemetry/catalog.py SLO_CATALOG; register "
+                            "it there (the catalog is the source of truth)",
+                        )
+                continue
             if len(chain) < 2:
                 continue
             head, method = chain[-2], chain[-1]
-            if method == "emit_event" or (
+            if method == "track" and head in ("windows", "_windows"):
+                name = _literal_name(node)
+                if name is not None:
+                    ctx.contribute(_WINDOWS_KEY, name)
+                    if name not in _window_metric_names():
+                        yield ctx.finding(
+                            self, node,
+                            f"windowed series {name!r} is not a "
+                            "window-kind entry in telemetry/catalog.py "
+                            "METRIC_CATALOG; register it there (the "
+                            "catalog is the source of truth)",
+                        )
+            elif method == "emit_event" or (
                 method == "emit" and head in ("bus", "_bus")
             ):
                 name = _literal_name(node)
@@ -115,16 +174,21 @@ class CatalogTwoWay(Rule):
     def finalize(self, project: ProjectState) -> Iterable[Finding]:
         if not _FULL_SCAN_MARKERS <= project.scanned_pkgs:
             return
-        emitted = set(project.contributions.get(_EVENTS_KEY, ()))
-        spans_used = set(project.contributions.get(_SPANS_KEY, ()))
+        used_by_kind = {
+            "event": set(project.contributions.get(_EVENTS_KEY, ())),
+            "span": set(project.contributions.get(_SPANS_KEY, ())),
+            "slo": set(project.contributions.get(_SLOS_KEY, ())),
+            "window": set(project.contributions.get(_WINDOWS_KEY, ())),
+        }
+        verb = {"event": "emitted", "span": "opened",
+                "slo": "declared", "window": "tracked"}
         for kind, name, line, rel in project.contributions.get(
             _CATALOG_KEY, ()
         ):
-            used = emitted if kind == "event" else spans_used
-            if name not in used:
+            if name not in used_by_kind[kind]:
                 yield Finding(
                     path=rel, line=line, col=0, rule=self.id,
                     message=(f"dead {kind}: catalog entry {name!r} is never "
-                             "emitted by any literal site; delete it or "
-                             "instrument the subsystem"),
+                             f"{verb[kind]} by any literal site; delete it "
+                             "or instrument the subsystem"),
                 )

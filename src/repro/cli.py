@@ -164,6 +164,17 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write folded stacks here (default: stdout)")
     tr_flame.add_argument("--counts", action="store_true",
                           help="weight stacks by span count, not self time")
+    tr_req = trace_sub.add_parser(
+        "request",
+        help="fetch one request's correlated span tree from a live "
+             "server by trace id",
+    )
+    tr_req.add_argument("trace_id", help="trace id (x-repro-trace header / "
+                                         "compose response)")
+    tr_req.add_argument("--host", default="127.0.0.1")
+    tr_req.add_argument("--port", type=int, default=8177)
+    tr_req.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the raw span records as JSON")
 
     prof = sub.add_parser("profile", help="wall-clock profiling")
     prof_sub = prof.add_subparsers(dest="profile_action", required=True)
@@ -229,7 +240,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="print the registered rules and exit")
 
-    from repro.serve.cli import add_loadgen_arguments, add_serve_arguments
+    from repro.serve.cli import (
+        add_loadgen_arguments,
+        add_serve_arguments,
+        add_top_arguments,
+    )
 
     serve = sub.add_parser(
         "serve", help="run the grid as a long-lived composition service"
@@ -239,6 +254,11 @@ def build_parser() -> argparse.ArgumentParser:
         "loadgen", help="drive a running server with the §4.1 workload"
     )
     add_loadgen_arguments(loadgen)
+    top = sub.add_parser(
+        "top", help="live terminal view of a running server (windowed "
+                    "rates, SLO states, worst traces)"
+    )
+    add_top_arguments(top)
 
     sub.add_parser("info", help="package, capability and scale information")
     return parser
@@ -376,6 +396,7 @@ def _cmd_telemetry(args) -> int:
     import json
 
     from repro.telemetry.metrics import Histogram
+    from repro.telemetry.windows import SlidingWindow
 
     counts: dict = {}
     t_min = t_max = None
@@ -383,17 +404,26 @@ def _cmd_telemetry(args) -> int:
     monotone = True
     n = 0
     # Histograms reconstructable from the stream itself; surfaced with
-    # the same p50/p95/p99 columns the registry summary prints.
+    # the same p50/p95/p99 columns the registry summary prints.  The
+    # cumulative percentiles cover the first 10k observations only; the
+    # windowed row next to each shows the *rolling* view over the last
+    # window of the stream, so the two cannot be confused.
     hists = {
         "lookup.hops": Histogram("lookup.hops"),
         "recovery.latency": Histogram("recovery.latency"),
         "session.duration": Histogram("session.duration"),
     }
+    windows = {name: SlidingWindow(name) for name in hists}
     try:
         stream = open(args.path)
     except OSError as exc:
         print(f"cannot read {args.path}: {exc}", file=sys.stderr)
         return 1
+
+    def _observe(name: str, t: float, value: float) -> None:
+        hists[name].observe(value)
+        windows[name].observe(t, value)
+
     with stream:
         for lineno, line in enumerate(stream, start=1):
             line = line.strip()
@@ -415,11 +445,11 @@ def _cmd_telemetry(args) -> int:
                 monotone = False
             prev = t
             if event == "lookup.done" and "hops" in rec:
-                hists["lookup.hops"].observe(rec["hops"])
+                _observe("lookup.hops", t, rec["hops"])
             elif event == "recovery.repaired" and "latency" in rec:
-                hists["recovery.latency"].observe(rec["latency"])
+                _observe("recovery.latency", t, rec["latency"])
             elif event == "span" and rec.get("name") == "session":
-                hists["session.duration"].observe(t - rec.get("start", t))
+                _observe("session.duration", t, t - rec.get("start", t))
     if n == 0:
         print(f"{args.path}: empty event stream")
         return 0
@@ -434,15 +464,45 @@ def _cmd_telemetry(args) -> int:
         width = max(len(name) for name in filled)
         print("histograms"
               + " " * max(1, width - 4)
-              + "count       mean        p50        p95        p99")
+              + "count       mean        p50        p95        p99"
+              + "   (percentiles: first 10k observations)")
         for name, h in sorted(filled.items()):
             print(f"  {name:<{width}}  {h.count:>8d} {h.mean:>10.3f} "
                   f"{h.percentile(50):>10.3f} {h.percentile(95):>10.3f} "
                   f"{h.percentile(99):>10.3f}")
+        window_width = windows[next(iter(filled))].config.width
+        print(f"windowed (last {window_width:g} min of the stream)")
+        for name in sorted(filled):
+            s = windows[name].stats(t_max)
+            print(f"  {name:<{width}}  {s['count']:>8d} {s['mean']:>10.3f} "
+                  f"{s['p50']:>10.3f} {s['p95']:>10.3f} "
+                  f"{s['p99']:>10.3f}")
     return 0 if monotone else 1
 
 
 def _cmd_trace(args) -> int:
+    if args.trace_action == "request":
+        from repro.serve.client import ServeApiError, ServeClient
+
+        try:
+            with ServeClient(args.host, args.port) as client:
+                view = client.trace(args.trace_id)
+        except ServeApiError as exc:
+            print(f"repro trace request: {exc.message}", file=sys.stderr)
+            return 1
+        except (TimeoutError, OSError) as exc:
+            print(f"repro trace request: cannot reach "
+                  f"{args.host}:{args.port}: {exc}", file=sys.stderr)
+            return 1
+        if args.as_json:
+            import json
+
+            print(json.dumps(view, indent=2, sort_keys=True))
+            return 0
+        print(f"trace {view['trace_id']}: {view['n_spans']} spans")
+        print(view["tree"])
+        return 0
+
     from repro.telemetry.analysis import (
         TraceAnalysisError,
         build_forest,
@@ -645,8 +705,15 @@ def _cmd_loadgen(args) -> int:
     return cmd_loadgen(args)
 
 
+def _cmd_top(args) -> int:
+    from repro.serve.cli import cmd_top
+
+    return cmd_top(args)
+
+
 _COMMANDS["serve"] = _cmd_serve
 _COMMANDS["loadgen"] = _cmd_loadgen
+_COMMANDS["top"] = _cmd_top
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -156,6 +156,12 @@ SCENARIOS: Dict[str, Scenario] = {
         "against a resident grid",
         recorder=lambda seed, algorithm: _record_serving(seed, algorithm),
     ),
+    "serving-slo": Scenario(
+        "serving-slo",
+        "observability overhead: serving with the SLO/window/trace "
+        "plane on, against a plane-off control run",
+        recorder=lambda seed, algorithm: _record_serving_slo(seed, algorithm),
+    ),
 }
 
 #: Scenarios a bare ``repro perf record`` runs (smoke stays CI-only).
@@ -170,6 +176,12 @@ def _record_serving(seed: int, algorithm: str) -> Dict:
     from repro.perf.serving import record_serving
 
     return record_serving(seed, algorithm)
+
+
+def _record_serving_slo(seed: int, algorithm: str) -> Dict:
+    from repro.perf.serving import record_serving_slo
+
+    return record_serving_slo(seed, algorithm)
 
 
 # -- recording --------------------------------------------------------------

@@ -25,6 +25,7 @@ from repro.serve.core import (
     ServeServer,
     ServerHandle,
     start_server_thread,
+    tune_gc_for_serving,
 )
 
 __all__ = [
@@ -33,4 +34,5 @@ __all__ = [
     "ServeServer",
     "ServerHandle",
     "start_server_thread",
+    "tune_gc_for_serving",
 ]

@@ -13,13 +13,20 @@ import asyncio
 import signal
 import sys
 
-from repro.serve.core import GridRuntime, ServeConfig, ServeServer
+from repro.serve.core import (
+    GridRuntime,
+    ServeConfig,
+    ServeServer,
+    tune_gc_for_serving,
+)
 
 __all__ = [
     "add_loadgen_arguments",
     "add_serve_arguments",
+    "add_top_arguments",
     "cmd_loadgen",
     "cmd_serve",
+    "cmd_top",
 ]
 
 
@@ -64,6 +71,29 @@ def add_loadgen_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--release-ratio", type=float, default=0.25,
                         help="fraction of admitted sessions torn down "
                              "immediately (default 0.25)")
+    parser.add_argument("--soak", action="store_true",
+                        help="duration-based soak: sustain the open-loop "
+                             "load, sample /status + /slo, and report "
+                             "RSS/latency drift over the run")
+    parser.add_argument("--duration", type=float, default=30.0,
+                        metavar="SEC",
+                        help="soak duration in wall seconds (default 30)")
+    parser.add_argument("--sample-interval", type=float, default=1.0,
+                        metavar="SEC",
+                        help="soak sampling cadence (default 1)")
+    parser.add_argument("--json-out", metavar="PATH", default=None,
+                        help="also write the full report as JSON (soak "
+                             "artifact for CI)")
+
+
+def add_top_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8177)
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="refresh cadence in seconds (default 2)")
+    parser.add_argument("--iterations", type=int, default=None,
+                        help="render this many frames then exit "
+                             "(default: until Ctrl-C)")
 
 
 def _build_serve_config(args: argparse.Namespace) -> ServeConfig:
@@ -81,6 +111,7 @@ def _build_serve_config(args: argparse.Namespace) -> ServeConfig:
 
 
 async def _serve_until_signal(config: ServeConfig) -> GridRuntime:
+    tune_gc_for_serving()
     runtime = GridRuntime(config)
     server = ServeServer(runtime, config.host, config.port)
     await server.start()
@@ -124,9 +155,79 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_top(args: argparse.Namespace) -> int:
+    from repro.serve.top import run_top
+
+    try:
+        return run_top(
+            args.host, args.port,
+            interval=args.interval,
+            iterations=args.iterations,
+        )
+    except (TimeoutError, OSError) as exc:
+        print(f"repro top: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from repro.serve.loadgen import SoakConfig, run_soak
+
+    try:
+        config = SoakConfig(
+            host=args.host,
+            port=args.port,
+            duration_seconds=args.duration,
+            rate_per_sec=args.rate,
+            concurrency=args.concurrency,
+            seed=args.seed,
+            release_ratio=args.release_ratio,
+            sample_interval=args.sample_interval,
+        )
+        report = run_soak(config)
+    except ValueError as exc:
+        print(f"repro loadgen: {exc}", file=sys.stderr)
+        return 1
+    except (TimeoutError, OSError) as exc:
+        print(f"repro loadgen: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    lg = report.loadgen
+    lat = lg.latency_summary_us()
+    print(f"soak: {lg.sent} sent over {lg.wall_seconds:.1f}s "
+          f"({lg.requests_per_sec:.1f} req/s offered ~{config.rate_per_sec:g})")
+    print(f"  outcomes: {lg.admitted} admitted (ψ={lg.psi:.3f}), "
+          f"{lg.rejected} rejected, {lg.released} released, "
+          f"{lg.errors} errors")
+    print(f"  compose RTT: p50={lat['p50']:.0f}µs p95={lat['p95']:.0f}µs "
+          f"p99={lat['p99']:.0f}µs")
+    print(f"  slo states seen: {', '.join(report.slo_states) or '(none)'}")
+    rss = report.rss_drift()
+    latency = report.latency_drift()
+    print(f"  drift: rss={rss:.3f}x" if rss is not None
+          else "  drift: rss=n/a", end="")
+    print(f" latency={latency:.3f}x" if latency is not None
+          else " latency=n/a", end="")
+    print(f"  (limits {report.RSS_DRIFT_LIMIT:g}x / "
+          f"{report.LATENCY_DRIFT_LIMIT:g}x) -> "
+          f"{'OK' if report.drift_ok() else 'DRIFTING'}")
+    if args.json_out is not None:
+        import json
+
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"  report -> {args.json_out}")
+    if lg.errors:
+        return 1
+    return 0 if report.drift_ok() else 1
+
+
 def cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.serve.loadgen import LoadgenConfig, run_loadgen
 
+    if getattr(args, "soak", False):
+        return _cmd_soak(args)
     try:
         config = LoadgenConfig(
             host=args.host,

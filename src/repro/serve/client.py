@@ -152,3 +152,32 @@ class ServeClient:
 
     def metrics(self) -> Dict[str, Any]:
         return self._expect("GET", "/metrics")
+
+    def metrics_prometheus(self) -> str:
+        """The Prometheus text exposition (``/metrics?format=prometheus``)."""
+        conn = self._connection()
+        try:
+            conn.request("GET", "/metrics?format=prometheus")
+            response = conn.getresponse()
+            raw = response.read()
+        except (ConnectionError, socket.timeout, OSError):
+            self.close()
+            conn = self._connection()
+            conn.request("GET", "/metrics?format=prometheus")
+            response = conn.getresponse()
+            raw = response.read()
+        if response.status != 200:
+            raise ServeApiError(response.status, raw.decode("utf-8", "replace"))
+        return raw.decode("utf-8")
+
+    def slo(self) -> Dict[str, Any]:
+        """Objective states, burn rates and the windowed series."""
+        return self._expect("GET", "/slo")
+
+    def traces(self) -> Dict[str, Any]:
+        """Recent and worst request traces."""
+        return self._expect("GET", "/traces")
+
+    def trace(self, trace_id: str) -> Dict[str, Any]:
+        """One request's correlated span tree (404s if unknown)."""
+        return self._expect("GET", f"/traces/{trace_id}")

@@ -32,6 +32,7 @@ Clock modes
 from __future__ import annotations
 
 import asyncio
+import gc
 import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Protocol, Tuple
@@ -51,7 +52,31 @@ __all__ = [
     "SimTickClock",
     "WallClock",
     "start_server_thread",
+    "tune_gc_for_serving",
 ]
+
+#: Resident-server GC thresholds.  A compose request allocates a few
+#: thousand short-lived objects, so CPython's default gen0 threshold
+#: (700) fires several allocation-triggered collections *per request*
+#: -- and those collections, not the plane's own compute, dominate the
+#: marginal cost of anything that allocates on the request path (the
+#: observability plane's window buckets, span records and trace index
+#: included; see the ``serving-slo`` perf scenario).  A resident server
+#: trades rarer, slightly longer collections for a request path that
+#: almost never pays one.
+_SERVING_GC_THRESHOLDS = (50_000, 20, 20)
+
+
+def tune_gc_for_serving() -> None:
+    """Raise the allocation-triggered GC thresholds for a resident server.
+
+    Called by both server boot paths (``repro serve`` and
+    :func:`start_server_thread`).  Process-global and deliberately not
+    undone on shutdown: thresholds only defer collections, they never
+    change observable behaviour, and a process that hosted a server once
+    keeps hosting its runtime state anyway.
+    """
+    gc.set_threshold(*_SERVING_GC_THRESHOLDS)
 
 
 @dataclass(frozen=True)
@@ -84,6 +109,18 @@ class ServeConfig:
     #: Retain the outcomes of at most this many resolved sessions for
     #: ``GET /sessions/{id}`` after teardown.
     outcome_history: int = 10_000
+    #: Run the observability plane (windowed metrics, SLO engine,
+    #: Prometheus exposition, trace index).  Forces full telemetry on the
+    #: resident grid; when the grid config did not already ask for
+    #: telemetry the bus is bounded to :attr:`telemetry_capacity` events
+    #: so a resident server cannot grow without bound.
+    observability: bool = True
+    #: Bus retention cap applied when observability forces telemetry on.
+    telemetry_capacity: int = 100_000
+    #: Sliding-window width/step for the observability plane, in sim
+    #: minutes (the serving clock's unit in both modes).
+    window_width: float = 5.0
+    window_step: float = 0.25
 
     def __post_init__(self) -> None:
         if self.mode not in ("sim", "wall"):
@@ -94,6 +131,10 @@ class ServeConfig:
             raise ValueError("wall_minutes_per_second must be positive")
         if self.outcome_history < 1:
             raise ValueError("outcome_history must be positive")
+        if self.telemetry_capacity < 1:
+            raise ValueError("telemetry_capacity must be positive")
+        if self.window_width <= 0 or self.window_step <= 0:
+            raise ValueError("window width/step must be positive")
 
 
 class ClockPolicy(Protocol):
@@ -137,6 +178,23 @@ class WallClock:
             sim.run(until=target)
 
 
+def _rss_kb() -> Optional[int]:
+    """This process's resident set size in KiB (None off-Linux).
+
+    Feeds the soak harness's drift check through ``GET /status``; it is
+    process state, not simulated state, and never enters the telemetry
+    stream.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
 def _build_clock(config: ServeConfig) -> ClockPolicy:
     if config.mode == "wall":
         return WallClock(config.wall_minutes_per_second)
@@ -163,6 +221,16 @@ def _resolve_grid_config(config: ServeConfig) -> GridConfig:
         grid_config = replace(grid_config, seed=config.seed)
     if config.telemetry_path is not None and not grid_config.telemetry:
         grid_config = replace(grid_config, telemetry=True)
+    if config.observability and not grid_config.telemetry:
+        # The observability plane needs the full telemetry handle; bound
+        # the bus so a resident server's retained stream cannot grow
+        # without limit (an explicit telemetry=True grid keeps whatever
+        # capacity it asked for).
+        grid_config = replace(
+            grid_config,
+            telemetry=True,
+            telemetry_capacity=config.telemetry_capacity,
+        )
     if config.faults_path is not None:
         from repro.faults.plan import FaultPlan
 
@@ -185,6 +253,25 @@ class GridRuntime:
         self.clock: ClockPolicy = _build_clock(config)
         self.bus = self.grid.telemetry.bus
         self.started_sim_time = self.grid.sim.now
+        #: Windows + SLO engine + trace index (None with observability
+        #: off, or when an explicit grid config disabled telemetry).
+        self.observability: Optional[Any] = None
+        if config.observability and self.grid.telemetry.enabled:
+            from repro.serve.observability import (
+                ObservabilityConfig,
+                ObservabilityPlane,
+            )
+
+            self.observability = ObservabilityPlane(
+                self.grid.telemetry,
+                # Bind the simulator once: the plane's clock runs on the
+                # tap hot path (dozens of reads per request).
+                clock=lambda sim=self.grid.sim: sim.now,
+                config=ObservabilityConfig(
+                    window_width=config.window_width,
+                    window_step=config.window_step,
+                ),
+            )
         #: Per-API-plane tallies (ψ's serving-side view).
         self.n_http_requests = 0
         self.n_compose = 0
@@ -218,6 +305,11 @@ class GridRuntime:
         self.bus.emit("serve.request", method=method, route=route, status=status)
         if self.grid.telemetry.enabled:
             self.grid.telemetry.metrics.counter("serve.requests").inc()
+        if self.observability is not None:
+            # SLO evaluation rides the request path (sim clock), so its
+            # timing -- and any slo.state transitions -- stay a pure
+            # function of the request trace.
+            self.observability.on_tick()
 
     # -- mutating operations ------------------------------------------------
     def compose(
@@ -227,17 +319,27 @@ class GridRuntime:
         duration: float,
         peer_id: Optional[int],
         out_format: Optional[str],
+        trace_id: str = "",
     ) -> AggregationResult:
-        """Advance the clock, then run one aggregation request."""
+        """Advance the clock, then run one aggregation request.
+
+        ``trace_id`` (minted by the HTTP layer) roots the request's span
+        tree: the ``serve.request`` span opened here parents the
+        aggregator's ``request`` span and everything below it, so one
+        serve request reads back as one correlated trace.
+        """
         self.clock.advance(self.grid.sim)
-        request = self.grid.make_request(
-            application=application,
-            qos_level=qos_level,
-            duration=duration,
-            peer_id=peer_id,
-            out_format=out_format,
-        )
-        result = self.aggregator.aggregate(request)
+        with self.grid.telemetry.tracer.span(
+            "serve.request", trace_id=trace_id, op="compose"
+        ):
+            request = self.grid.make_request(
+                application=application,
+                qos_level=qos_level,
+                duration=duration,
+                peer_id=peer_id,
+                out_format=out_format,
+            )
+            result = self.aggregator.aggregate(request)
         self.n_compose += 1
         self.total_lookup_hops += result.lookup_hops
         if result.admitted and result.session is not None:
@@ -252,10 +354,13 @@ class GridRuntime:
             self.n_rejected += 1
         return result
 
-    def release(self, session_id: int) -> Optional[Session]:
+    def release(self, session_id: int, trace_id: str = "") -> Optional[Session]:
         """Advance the clock, then tear one active session down."""
         self.clock.advance(self.grid.sim)
-        session = self.grid.ledger.release_session(session_id)
+        with self.grid.telemetry.tracer.span(
+            "serve.request", trace_id=trace_id, op="release"
+        ):
+            session = self.grid.ledger.release_session(session_id)
         if session is not None:
             self.n_released += 1
         return session
@@ -336,17 +441,61 @@ class GridRuntime:
                 "qcs_edge_hits": stats.hits if stats is not None else 0,
                 "qcs_edge_misses": stats.misses if stats is not None else 0,
             },
+            "process": {"rss_kb": _rss_kb()},
+            "slo_state": (
+                self.observability.engine.worst_state()
+                if self.observability is not None
+                else None
+            ),
         }
 
     def metrics(self) -> Dict[str, Any]:
         telemetry = self.grid.telemetry
-        return {
+        view = {
             "enabled": telemetry.enabled,
             "events_emitted": telemetry.bus.n_emitted,
             "events_retained": len(telemetry.bus),
             "event_counts": dict(telemetry.bus.counts()),
+            # Histogram percentiles here are cumulative: they cover the
+            # reservoir (first 10k observations) only -- see the
+            # "windows" section for the rolling view.
             "metrics": telemetry.metrics.snapshot(),
         }
+        if self.observability is not None:
+            view["windows"] = self.observability.windows_snapshot()
+        return view
+
+    def prometheus(self) -> str:
+        """The ``GET /metrics?format=prometheus`` body."""
+        from repro.telemetry.exposition import render_prometheus
+
+        plane = self.observability
+        return render_prometheus(
+            self.grid.telemetry.metrics,
+            windows=plane.windows_snapshot() if plane is not None else None,
+            slo=plane.engine.as_dict(self.grid.sim.now) if plane is not None else None,
+        )
+
+    def slo_view(self) -> Optional[Dict[str, Any]]:
+        """The ``GET /slo`` document (None with observability off)."""
+        if self.observability is None:
+            return None
+        return self.observability.slo_view()
+
+    def traces_view(self, limit: int = 10) -> Optional[Dict[str, Any]]:
+        """Recent and worst request traces (None with observability off)."""
+        if self.observability is None:
+            return None
+        return {
+            "recent": self.observability.recent_traces()[:limit],
+            "worst": self.observability.worst_traces(limit),
+        }
+
+    def trace(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """One request's span tree (None if unknown or plane off)."""
+        if self.observability is None:
+            return None
+        return self.observability.trace(trace_id)
 
     def export_telemetry(self) -> int:
         """Write the retained stream to the configured path (0 if none)."""
@@ -426,6 +575,7 @@ class ServerHandle:
 
 def start_server_thread(config: ServeConfig) -> ServerHandle:
     """Boot a server on a daemon thread; returns once it accepts TCP."""
+    tune_gc_for_serving()
     runtime = GridRuntime(config)
     server = ServeServer(runtime, config.host, config.port)
     loop = asyncio.new_event_loop()

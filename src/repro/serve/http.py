@@ -66,6 +66,11 @@ class HttpRequest:
     query: Dict[str, str]
     headers: Dict[str, str]
     body: bytes
+    #: Request-scoped trace id: the client's ``x-repro-trace`` header, or
+    #: one minted by the server (``req-%08d``, a deterministic per-server
+    #: counter so scripted traces replay byte-identically).  Carried into
+    #: the ``serve.request`` span, correlating the whole span tree.
+    trace_id: str = ""
 
     def json(self) -> Any:
         """Decode the body as JSON (raises :class:`HttpError` 400)."""
@@ -79,20 +84,32 @@ class HttpRequest:
 
 @dataclass
 class HttpResponse:
-    """One response: status plus a JSON-able payload."""
+    """One response: status plus a JSON payload *or* a plain-text body.
+
+    ``payload`` renders as canonical JSON (the default content type);
+    ``text`` takes precedence and renders verbatim with ``content_type``
+    (the Prometheus exposition path).
+    """
 
     status: int = 200
     payload: Any = None
     headers: Dict[str, str] = field(default_factory=dict)
+    text: Optional[str] = None
+    content_type: Optional[str] = None
 
     def encode(self) -> bytes:
-        body = b""
-        if self.payload is not None:
-            body = (json.dumps(self.payload, sort_keys=True) + "\n").encode()
+        if self.text is not None:
+            body = self.text.encode("utf-8")
+            content_type = self.content_type or "text/plain; charset=utf-8"
+        else:
+            body = b""
+            if self.payload is not None:
+                body = (json.dumps(self.payload, sort_keys=True) + "\n").encode()
+            content_type = self.content_type or "application/json"
         reason = REASON_PHRASES.get(self.status, "Unknown")
         lines = [f"HTTP/1.1 {self.status} {reason}"]
         headers = {
-            "content-type": "application/json",
+            "content-type": content_type,
             "content-length": str(len(body)),
             **self.headers,
         }
@@ -184,6 +201,9 @@ class HttpServer:
         self._server: Optional[asyncio.base_events.Server] = None
         #: Live per-connection tasks (keep-alive loops), cancelled on stop.
         self._connections: "set[asyncio.Task]" = set()
+        #: Monotone trace-id counter (``req-%08d``); deterministic, so a
+        #: scripted request trace replays with identical trace ids.
+        self._next_trace = 0
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -230,7 +250,12 @@ class HttpServer:
                     break
                 if request is None:
                     break
+                request.trace_id = request.headers.get("x-repro-trace", "")
+                if not request.trace_id:
+                    request.trace_id = f"req-{self._next_trace:08d}"
+                    self._next_trace += 1
                 response = await self.handler(request)
+                response.headers.setdefault("x-repro-trace", request.trace_id)
                 keep_alive = request.headers.get(
                     "connection", "keep-alive"
                 ).lower() != "close"

@@ -35,7 +35,14 @@ from repro.services.applications import default_applications
 from repro.sim.rng import RngStreams
 from repro.workload.generator import WorkloadConfig
 
-__all__ = ["LoadgenConfig", "LoadgenReport", "run_loadgen"]
+__all__ = [
+    "LoadgenConfig",
+    "LoadgenReport",
+    "SoakConfig",
+    "SoakReport",
+    "run_loadgen",
+    "run_soak",
+]
 
 
 @dataclass(frozen=True)
@@ -228,4 +235,201 @@ def run_loadgen(config: LoadgenConfig) -> LoadgenReport:
         for future in futures:
             future.result()
     report.wall_seconds = time.perf_counter() - start  # lint: disable=DET001 -- loadgen wall-clock window
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Soak mode (ROADMAP item 2): sustained load with drift detection.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """A wall-clock soak: sustained load for a fixed duration.
+
+    The generator drives an open loop for ``duration_seconds`` while a
+    sampler thread polls ``/status`` and ``/slo``; the report then
+    splits the run into thirds and compares the first against the last
+    to expose *monotonic drift* -- the failure mode a fixed-count bench
+    cannot see (RSS creeping up, latency degrading as state accretes).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8177
+    duration_seconds: float = 30.0
+    rate_per_sec: float = 25.0
+    concurrency: int = 4
+    seed: int = 0
+    release_ratio: float = 0.25
+    #: Seconds between ``/status`` + ``/slo`` samples.
+    sample_interval: float = 1.0
+    workload: WorkloadConfig = field(
+        default_factory=lambda: WorkloadConfig(duration_range=(1.0, 15.0))
+    )
+
+    def __post_init__(self) -> None:
+        if self.duration_seconds <= 0:
+            raise ValueError("duration_seconds must be positive")
+        if self.rate_per_sec <= 0:
+            raise ValueError("rate_per_sec must be positive")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be positive")
+        if self.sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        if not 0.0 <= self.release_ratio <= 1.0:
+            raise ValueError("release_ratio must be in [0, 1]")
+
+
+def _thirds(values: List[float]) -> Optional[tuple]:
+    """``(mean of first third, mean of last third)`` (None if too few)."""
+    if len(values) < 6:
+        return None
+    third = len(values) // 3
+    first = values[:third]
+    last = values[-third:]
+    return (sum(first) / len(first), sum(last) / len(last))
+
+
+@dataclass
+class SoakReport:
+    """What a soak run measured, drift verdicts included."""
+
+    loadgen: LoadgenReport = field(default_factory=LoadgenReport)
+    #: Periodic ``{wall_s, rss_kb, slo_state, active_sessions,
+    #: events_retained}`` samples.
+    samples: List[Dict[str, Any]] = field(default_factory=list)
+    #: Every SLO worst-state observed, in sample order (deduplicated).
+    slo_states: List[str] = field(default_factory=list)
+
+    #: A run "drifts" when the last third exceeds the first third by
+    #: more than these ratios (RSS and compose RTT respectively).
+    RSS_DRIFT_LIMIT = 1.25
+    LATENCY_DRIFT_LIMIT = 2.0
+
+    def rss_drift(self) -> Optional[float]:
+        """last-third mean RSS / first-third mean RSS (None = no data)."""
+        values = [
+            float(s["rss_kb"]) for s in self.samples
+            if s.get("rss_kb") is not None
+        ]
+        pair = _thirds(values)
+        if pair is None or pair[0] <= 0:
+            return None
+        return pair[1] / pair[0]
+
+    def latency_drift(self) -> Optional[float]:
+        """last-third mean compose RTT / first-third mean (None = no data)."""
+        pair = _thirds(self.loadgen.latencies_us)
+        if pair is None or pair[0] <= 0:
+            return None
+        return pair[1] / pair[0]
+
+    def drift_ok(self) -> bool:
+        rss = self.rss_drift()
+        latency = self.latency_drift()
+        return (rss is None or rss <= self.RSS_DRIFT_LIMIT) and (
+            latency is None or latency <= self.LATENCY_DRIFT_LIMIT
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "loadgen": self.loadgen.as_dict(),
+            "samples": self.samples,
+            "slo_states": self.slo_states,
+            "rss_drift": self.rss_drift(),
+            "latency_drift": self.latency_drift(),
+            "drift_ok": self.drift_ok(),
+        }
+
+
+def run_soak(config: SoakConfig) -> SoakReport:
+    """Drive one soak against ``config.host:port``; returns the report.
+
+    Wall-clock by definition -- it sustains real load against a real
+    server for a real duration; every clock read is pragma'd.
+    """
+    from repro.serve.client import ServeApiError, ServeClient, wait_ready
+
+    wait_ready(config.host, config.port, timeout=30.0)
+    report = SoakReport()
+    lock = threading.Lock()
+    clients = threading.local()
+    rng = RngStreams(config.seed).stream("loadgen-arrivals")
+    bodies = iter([])
+    stop = threading.Event()
+    start = time.perf_counter()  # lint: disable=DET001 -- soak wall-clock window
+
+    def _sample_loop() -> None:
+        client = ServeClient(config.host, config.port)
+        try:
+            while not stop.wait(config.sample_interval):
+                now = time.perf_counter() - start  # lint: disable=DET001 -- soak sample timestamp
+                try:
+                    status = client.status()
+                except (ServeApiError, OSError, TimeoutError):
+                    continue
+                sample: Dict[str, Any] = {
+                    "wall_s": now,
+                    "rss_kb": (status.get("process") or {}).get("rss_kb"),
+                    "slo_state": status.get("slo_state"),
+                    "active_sessions": status.get("sessions", {}).get("active"),
+                }
+                try:
+                    metrics = client.metrics()
+                    sample["events_retained"] = metrics.get("events_retained")
+                except (ServeApiError, OSError, TimeoutError):
+                    pass
+                with lock:
+                    report.samples.append(sample)
+                    state = sample["slo_state"]
+                    if state is not None and (
+                        not report.slo_states or report.slo_states[-1] != state
+                    ):
+                        report.slo_states.append(state)
+        finally:
+            client.close()
+
+    sampler = threading.Thread(
+        target=_sample_loop, name="repro-soak-sampler", daemon=True
+    )
+    sampler.start()
+    mean_gap = 1.0 / config.rate_per_sec
+    batch_config = LoadgenConfig(
+        host=config.host,
+        port=config.port,
+        n_requests=256,
+        concurrency=config.concurrency,
+        seed=config.seed,
+        release_ratio=config.release_ratio,
+        workload=config.workload,
+    )
+    n_batches = 0
+    try:
+        with ThreadPoolExecutor(max_workers=config.concurrency) as pool:
+            futures = []
+            while (time.perf_counter() - start) < config.duration_seconds:  # lint: disable=DET001 -- soak duration window
+                body = next(bodies, None)
+                if body is None:
+                    # Re-seed per batch so a long soak does not replay
+                    # the same 256 request bodies forever.
+                    from dataclasses import replace
+
+                    batch = replace(
+                        batch_config, seed=config.seed + n_batches
+                    )
+                    n_batches += 1
+                    bodies = iter(_draw_requests(batch))
+                    body = next(bodies)
+                futures.append(
+                    pool.submit(
+                        _send_one, batch_config, body, report.loadgen,
+                        lock, clients,
+                    )
+                )
+                time.sleep(float(rng.exponential(mean_gap)))
+            for future in futures:
+                future.result()
+    finally:
+        stop.set()
+        sampler.join(timeout=10)
+    report.loadgen.wall_seconds = time.perf_counter() - start  # lint: disable=DET001 -- soak wall-clock window
     return report

@@ -17,7 +17,12 @@ method     path                   operation
 ``GET``    ``/sessions/{id}``     inspect one session (active or resolved)
 ``DELETE`` ``/sessions/{id}``     release an active session's reservations
 ``GET``    ``/status``            grid size, churn generation, cache counters
-``GET``    ``/metrics``           telemetry-bus backed counters/histograms
+``GET``    ``/metrics``           telemetry (JSON default; ``?format=``
+                                  ``prometheus`` or ``Accept: text/plain``
+                                  for text exposition)
+``GET``    ``/slo``               objective states, burn rates, windowed series
+``GET``    ``/traces``            recent/worst request traces
+``GET``    ``/traces/{id}``       one request's correlated span tree
 =========  =====================  ===========================================
 """
 
@@ -28,8 +33,30 @@ from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
 from repro.serve.core import GridRuntime
 from repro.serve.http import HttpError, HttpRequest, HttpResponse
 from repro.serve.logic import ApiError, compose_view, parse_compose, session_view
+from repro.telemetry.exposition import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
 
-__all__ = ["Router", "build_router"]
+__all__ = ["Router", "build_router", "negotiate_metrics_format"]
+
+
+def negotiate_metrics_format(request: HttpRequest) -> str:
+    """``"json"`` or ``"prometheus"`` for one ``GET /metrics`` request.
+
+    An explicit ``?format=`` wins; otherwise an ``Accept`` header that
+    asks for ``text/plain`` (the Prometheus scrape default) selects the
+    text exposition, and everything else -- including no header and
+    ``*/*`` -- stays JSON.
+    """
+    fmt = request.query.get("format")
+    if fmt is not None:
+        if fmt not in ("json", "prometheus"):
+            raise ApiError(
+                400, f"unknown metrics format {fmt!r} (json/prometheus)"
+            )
+        return fmt
+    accept = request.headers.get("accept", "")
+    if "text/plain" in accept or "openmetrics" in accept:
+        return "prometheus"
+    return "json"
 
 #: A bound handler: path parameters in, response out.
 RouteHandler = Callable[[HttpRequest, Dict[str, str]], Awaitable[HttpResponse]]
@@ -123,6 +150,9 @@ def build_router(runtime: GridRuntime) -> Router:
                 "DELETE /sessions/{id}",
                 "GET /status",
                 "GET /metrics",
+                "GET /slo",
+                "GET /traces",
+                "GET /traces/{trace_id}",
             ],
         })
 
@@ -136,9 +166,12 @@ def build_router(runtime: GridRuntime) -> Router:
             duration=spec.duration,
             peer_id=spec.peer_id,
             out_format=spec.out_format,
+            trace_id=request.trace_id,
         )
         status = 201 if result.admitted else 409
-        return HttpResponse(status, compose_view(result))
+        view = compose_view(result)
+        view["trace_id"] = request.trace_id
+        return HttpResponse(status, view)
 
     async def list_sessions(
         request: HttpRequest, params: Dict[str, str]
@@ -170,7 +203,7 @@ def build_router(runtime: GridRuntime) -> Router:
         request: HttpRequest, params: Dict[str, str]
     ) -> HttpResponse:
         session_id = _parse_session_id(params)
-        session = runtime.release(session_id)
+        session = runtime.release(session_id, trace_id=request.trace_id)
         if session is None:
             # Not active: a repeat DELETE (idempotent teardown -- nothing
             # is ever released twice) or a never-admitted id.
@@ -187,8 +220,39 @@ def build_router(runtime: GridRuntime) -> Router:
         return HttpResponse(200, runtime.status())
 
     async def metrics(request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        fmt = negotiate_metrics_format(request)
         runtime.tick()
+        if fmt == "prometheus":
+            return HttpResponse(
+                200,
+                text=runtime.prometheus(),
+                content_type=PROMETHEUS_CONTENT_TYPE,
+            )
         return HttpResponse(200, runtime.metrics())
+
+    async def slo(request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        runtime.tick()
+        view = runtime.slo_view()
+        if view is None:
+            raise ApiError(404, "observability plane is disabled on this server")
+        return HttpResponse(200, view)
+
+    async def traces(request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        runtime.tick()
+        view = runtime.traces_view()
+        if view is None:
+            raise ApiError(404, "observability plane is disabled on this server")
+        return HttpResponse(200, view)
+
+    async def get_trace(request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        runtime.tick()
+        trace_id = params.get("trace_id", "")
+        if runtime.observability is None:
+            raise ApiError(404, "observability plane is disabled on this server")
+        view = runtime.trace(trace_id)
+        if view is None:
+            raise ApiError(404, f"trace {trace_id!r} is unknown (expired or never seen)")
+        return HttpResponse(200, view)
 
     router.add("GET", "/", index)
     router.add("POST", "/compose", compose)
@@ -197,4 +261,7 @@ def build_router(runtime: GridRuntime) -> Router:
     router.add("DELETE", "/sessions/{id}", delete_session)
     router.add("GET", "/status", status)
     router.add("GET", "/metrics", metrics)
+    router.add("GET", "/slo", slo)
+    router.add("GET", "/traces", traces)
+    router.add("GET", "/traces/{trace_id}", get_trace)
     return router

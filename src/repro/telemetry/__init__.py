@@ -33,13 +33,17 @@ from repro.telemetry.bus import BusEvent, EventBus
 from repro.telemetry.catalog import (
     EVENT_CATALOG,
     METRIC_CATALOG,
+    SLO_CATALOG,
     SPAN_CATALOG,
     format_catalog,
 )
+from repro.telemetry.exposition import render_prometheus
 from repro.telemetry.facade import Telemetry
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.telemetry.profiling import ProfileReport, Profiler, profile_run
+from repro.telemetry.slo import Objective, SloEngine, default_serving_objectives
 from repro.telemetry.spans import NULL_TRACER, Span, SpanTracer, render_span_tree
+from repro.telemetry.windows import SlidingWindow, WindowConfig, WindowedMetrics
 
 __all__ = [
     "BusEvent",
@@ -56,7 +60,15 @@ __all__ = [
     "EVENT_CATALOG",
     "METRIC_CATALOG",
     "SPAN_CATALOG",
+    "SLO_CATALOG",
     "format_catalog",
+    "WindowConfig",
+    "SlidingWindow",
+    "WindowedMetrics",
+    "Objective",
+    "SloEngine",
+    "default_serving_objectives",
+    "render_prometheus",
     "SpanNode",
     "SpanRecord",
     "aggregate_spans",

@@ -10,7 +10,13 @@ from __future__ import annotations
 
 from typing import Dict
 
-__all__ = ["EVENT_CATALOG", "METRIC_CATALOG", "SPAN_CATALOG", "format_catalog"]
+__all__ = [
+    "EVENT_CATALOG",
+    "METRIC_CATALOG",
+    "SPAN_CATALOG",
+    "SLO_CATALOG",
+    "format_catalog",
+]
 
 #: event name -> (fields, description)
 EVENT_CATALOG: Dict[str, tuple] = {
@@ -85,6 +91,10 @@ EVENT_CATALOG: Dict[str, tuple] = {
         "site, attempts [, site fields]",
         "a retry budget ran dry; the plain failure path follows",
     ),
+    "slo.state": (
+        "slo, state, previous, value, burn, target",
+        "a service-level objective changed state (ok|warn|breach)",
+    ),
     "span": (
         "name, id, parent, start [, site fields]",
         "a traced interval closed (see repro.telemetry.spans)",
@@ -129,6 +139,17 @@ METRIC_CATALOG: Dict[str, tuple] = {
     "fault.injected": ("counter", "faults injected by the active plan"),
     "retry.attempts": ("counter", "backoff retries across hardened sites"),
     "retry.exhausted": ("counter", "retry budgets that ran dry"),
+    # windowed series (kind "window") are derived rolling views fed by the
+    # serving plane's observability layer, never cumulative instruments;
+    # TEL001 closes them over the literal ``track(...)`` sites.
+    "serve.window.requests": ("window", "compose requests, rolling window"),
+    "serve.window.admits": ("window", "admitted composes, rolling window"),
+    "serve.window.denials": ("window", "denied composes, rolling window"),
+    "serve.window.faults": ("window", "injected faults, rolling window"),
+    "serve.window.setup_latency_us": (
+        "window",
+        "serve-side setup wall latency (µs), rolling window",
+    ),
 }
 
 
@@ -152,6 +173,23 @@ SPAN_CATALOG: Dict[str, str] = {
     "admission": "atomic resource/connection admission",
     "probing.resolve": "neighbor resolution triggered by a request",
     "session": "an admitted session's admit -> resolution lifetime",
+    "serve.request": (
+        "one serving-plane request's whole handling, carrying the "
+        "trace_id that correlates the serve -> aggregation -> "
+        "composition -> probing span tree"
+    ),
+}
+
+
+#: SLO name -> description.  Objectives declared in code
+#: (``repro.telemetry.slo``) must use names registered here; the linter
+#: (TEL001) holds ``Objective(name=...)`` sites and this catalog two-way
+#: consistent, same as events and spans.
+SLO_CATALOG: Dict[str, str] = {
+    "slo.psi": "rolling aggregation grade ψ must stay above its floor",
+    "slo.setup_latency_p95": "rolling p95 setup latency must stay under ceiling",
+    "slo.denial_rate": "rolling denied-compose fraction must stay under ceiling",
+    "slo.fault_rate": "rolling injected-fault rate must stay under ceiling",
 }
 
 
@@ -172,4 +210,9 @@ def format_catalog() -> str:
     width = max(len(n) for n in METRIC_CATALOG)
     for name, (kind, desc) in METRIC_CATALOG.items():
         lines.append(f"  {name:<{width}}  [{kind}] {desc}")
+    lines.append("")
+    lines.append("slos (objective names carried by `slo.state` events)")
+    width = max(len(n) for n in SLO_CATALOG)
+    for name, desc in SLO_CATALOG.items():
+        lines.append(f"  {name:<{width}}  {desc}")
     return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Prometheus text exposition (format 0.0.4) for the telemetry registry.
+
+Renders the cumulative registry, the windowed series and the SLO states
+as the plain-text format every Prometheus-compatible scraper ingests::
+
+    # TYPE repro_lookup_count counter
+    repro_lookup_count_total 1284
+    repro_lookup_hops{quantile="0.95"} 6
+    repro_window_rate{series="lookup.hops"} 12.5
+    repro_slo_state{slo="slo.psi"} 0
+
+Conventions:
+
+* dotted names map to ``repro_``-prefixed snake case (``lookup.hops`` ->
+  ``repro_lookup_hops``); counters gain the idiomatic ``_total`` suffix;
+* cumulative histogram quantiles carry the reservoir caveat in their
+  ``# HELP`` line -- they summarize the *first 10k* observations, the
+  windowed series are the rolling view;
+* windowed series fed from wall-clock measurements carry
+  ``clock="wall"`` so deterministic consumers (and the stability test)
+  can filter them; everything else is a pure function of (seed, trace);
+* output ordering is fully sorted, making the rendering byte-stable for
+  a seeded sim-time server.
+
+``render_prometheus`` is transport-agnostic; the serving plane
+content-negotiates it on ``GET /metrics`` (docs/observability.md).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = ["CONTENT_TYPE", "prometheus_name", "render_prometheus"]
+
+#: The content type Prometheus expects for the text format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str, prefix: str = "repro_") -> str:
+    """A catalogued dotted name as a valid Prometheus metric name."""
+    return prefix + _INVALID.sub("_", name)
+
+
+def _fmt(value: Any) -> str:
+    """A sample value in canonical text form (int-like floats stay short)."""
+    number = float(value)
+    if number.is_integer() and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def render_prometheus(
+    registry: MetricsRegistry,
+    windows: Optional[Dict[str, Dict[str, Any]]] = None,
+    slo: Optional[Dict[str, Any]] = None,
+    include_wall: bool = True,
+) -> str:
+    """The whole observability surface as Prometheus text exposition.
+
+    ``windows`` is a :meth:`WindowedMetrics.snapshot` mapping and ``slo``
+    a :meth:`SloEngine.as_dict` document; both optional so a bare
+    registry still renders.  ``include_wall=False`` drops the
+    wall-clocked series entirely (byte-stable output for seeded runs).
+    """
+    lines: List[str] = []
+
+    for name, value in registry.counters().items():
+        metric = prometheus_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(value)}")
+    for name, value in registry.gauges().items():
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(value)}")
+    for name, hist in registry.histograms().items():
+        metric = prometheus_name(name)
+        lines.append(
+            f"# HELP {metric} cumulative summary "
+            "(quantiles over the first 10k observations only)"
+        )
+        lines.append(f"# TYPE {metric} summary")
+        for q in (50, 95, 99):
+            lines.append(
+                f'{metric}{{quantile="0.{q}"}} {_fmt(hist.percentile(q))}'
+            )
+        lines.append(f"{metric}_sum {_fmt(hist.total)}")
+        lines.append(f"{metric}_count {_fmt(hist.count)}")
+
+    if windows:
+        stats = ("count", "rate", "mean", "p50", "p95", "p99")
+        for stat in stats:
+            metric = f"repro_window_{stat}"
+            lines.append(f"# TYPE {metric} gauge")
+            for name in sorted(windows):
+                snap = windows[name]
+                wall = bool(snap.get("wall"))
+                if wall and not include_wall:
+                    continue
+                labels = f'series="{_escape(name)}"'
+                if wall:
+                    labels += ',clock="wall"'
+                lines.append(f"{metric}{{{labels}}} {_fmt(snap[stat])}")
+
+    if slo:
+        state_code = {"ok": 0, "warn": 1, "breach": 2}
+
+        def wall_fed(status: Dict[str, Any]) -> bool:
+            series = status.get("series", "")
+            return bool((windows or {}).get(series, {}).get("wall"))
+
+        objectives = [
+            s for s in slo.get("objectives", [])
+            if include_wall or not wall_fed(s)
+        ]
+        def slo_labels(status: Dict[str, Any]) -> str:
+            labels = f'slo="{_escape(status["slo"])}"'
+            if wall_fed(status):
+                labels += ',clock="wall"'
+            return labels
+
+        lines.append("# HELP repro_slo_state objective state "
+                     "(0 ok, 1 warn, 2 breach)")
+        lines.append("# TYPE repro_slo_state gauge")
+        for status in objectives:
+            lines.append(
+                f"repro_slo_state{{{slo_labels(status)}}} "
+                f"{state_code.get(status['state'], 0)}"
+            )
+        for metric, key in (
+            ("repro_slo_target", "target"),
+            ("repro_slo_value", "value_long"),
+            ("repro_slo_burn_long", "burn_long"),
+            ("repro_slo_burn_short", "burn_short"),
+        ):
+            lines.append(f"# TYPE {metric} gauge")
+            for status in objectives:
+                lines.append(
+                    f"{metric}{{{slo_labels(status)}}} {_fmt(status[key])}"
+                )
+
+    return "\n".join(lines) + "\n"

@@ -14,24 +14,31 @@ registry as the text table the CLI prints after a telemetry run.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: A registry tap: ``fn(name, kind, value)`` mirrored on every counter
+#: increment / histogram observation (see ``MetricsRegistry.attach_tap``).
+Tap = Callable[[str, str, float], None]
 
 
 class Counter:
     """A monotonically increasing count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_tap")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self._tap: Optional[Tap] = None
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name}: negative increment")
         self.value += amount
+        if self._tap is not None:
+            self._tap(self.name, "counter", amount)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Counter {self.name}={self.value:g}>"
@@ -68,7 +75,7 @@ class Histogram:
     arrival order, so seeded runs reproduce the reservoir bit-for-bit.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_values", "_cap")
+    __slots__ = ("name", "count", "total", "min", "max", "_values", "_cap", "_tap")
 
     def __init__(self, name: str, reservoir_cap: int = 10_000) -> None:
         self.name = name
@@ -78,6 +85,7 @@ class Histogram:
         self.max: Optional[float] = None
         self._values: List[float] = []
         self._cap = reservoir_cap
+        self._tap: Optional[Tap] = None
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -89,6 +97,8 @@ class Histogram:
             self.max = value
         if len(self._values) < self._cap:
             self._values.append(value)
+        if self._tap is not None:
+            self._tap(self.name, "histogram", value)
 
     @property
     def mean(self) -> float:
@@ -115,12 +125,16 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._tap: Optional[Tap] = None
+        self._tap_kinds: Tuple[str, ...] = ("counter", "histogram")
 
     # -- access (creates on first use) ------------------------------------
     def counter(self, name: str) -> Counter:
         inst = self._counters.get(name)
         if inst is None:
             inst = self._counters[name] = Counter(name)
+            if "counter" in self._tap_kinds:
+                inst._tap = self._tap
         return inst
 
     def gauge(self, name: str) -> Gauge:
@@ -133,7 +147,35 @@ class MetricsRegistry:
         inst = self._histograms.get(name)
         if inst is None:
             inst = self._histograms[name] = Histogram(name)
+            if "histogram" in self._tap_kinds:
+                inst._tap = self._tap
         return inst
+
+    # -- windowed-layer hook ------------------------------------------------
+    def attach_tap(
+        self,
+        tap: Optional[Tap],
+        kinds: Tuple[str, ...] = ("counter", "histogram"),
+    ) -> None:
+        """Mirror every update into ``tap(name, kind, value)``.
+
+        The tap is a pure observer -- it cannot mutate instruments or
+        emit events, so attaching one leaves the registry state (and any
+        seeded telemetry export) byte-identical.  Pass ``None`` to
+        detach.  ``kinds`` restricts which instrument kinds carry the
+        tap: the serving plane taps histograms only (observations are
+        the irrecoverable part) and derives counter windows by
+        delta-sampling the cumulative values, keeping counter
+        increments -- the hottest instrument path -- tap-free.
+        """
+        self._tap = tap
+        self._tap_kinds = kinds
+        counter_tap = tap if "counter" in kinds else None
+        histogram_tap = tap if "histogram" in kinds else None
+        for counter in self._counters.values():
+            counter._tap = counter_tap
+        for histogram in self._histograms.values():
+            histogram._tap = histogram_tap
 
     # -- inspection -----------------------------------------------------------
     @property
@@ -163,6 +205,11 @@ class MetricsRegistry:
                     "p50": h.percentile(50),
                     "p95": h.percentile(95),
                     "p99": h.percentile(99),
+                    # percentiles cover the reservoir only -- the first
+                    # `reservoir_cap` observations (windowed series are
+                    # the rolling view)
+                    "reservoir": len(h._values),
+                    "reservoir_cap": h._cap,
                 }
                 for n, h in self._histograms.items()
             },
@@ -187,6 +234,7 @@ class MetricsRegistry:
                 "histograms"
                 "                 count       mean        min        max"
                 "        p50        p95        p99"
+                "   (percentiles: first 10k observations)"
             )
             width = max(len(n) for n in self._histograms)
             for name, h in self.histograms().items():

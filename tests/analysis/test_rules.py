@@ -145,6 +145,117 @@ class TestTEL001:
         ]
         assert list(get_rule("TEL001").finalize(project)) == []
 
+    def test_uncatalogued_slo_fires_once(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "from repro.telemetry.slo import Objective\n"
+            "OBJ = Objective(name='slo.no_such', description='x',\n"
+            "                kind='floor', target=0.5,\n"
+            "                series='serve.window.admits')\n",
+        )
+        assert [f.rule for f in report.findings] == ["TEL001"]
+
+    def test_catalogued_slo_is_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "from repro.telemetry.slo import Objective\n"
+            "OBJ = Objective(name='slo.psi', description='x',\n"
+            "                kind='floor', target=0.85,\n"
+            "                series='serve.window.admits')\n",
+        )
+        assert report.ok
+
+    def test_uncatalogued_windowed_series_fires_once(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "def f(windows):\n"
+            "    windows.track('serve.window.no_such', kind='counter')\n",
+        )
+        assert [f.rule for f in report.findings] == ["TEL001"]
+
+    def test_catalogued_windowed_series_is_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "def f(windows):\n"
+            "    windows.track('serve.window.requests', kind='counter')\n",
+        )
+        assert report.ok
+
+    def test_cumulative_metric_name_not_trackable(self, tmp_path):
+        # A window-kind check, not a general metric check: tracking a
+        # *cumulative* catalog name as a derived series still fires.
+        report = lint_snippet(
+            tmp_path,
+            "def f(windows):\n"
+            "    windows.track('qcs.compositions', kind='counter')\n",
+        )
+        assert [f.rule for f in report.findings] == ["TEL001"]
+
+    def test_dead_slo_and_window_entries_via_finalize(self):
+        from repro.analysis.engine import ProjectState
+        from repro.analysis.registry import get_rule
+        from repro.analysis.rules.telemetry import (
+            _CATALOG_KEY,
+            _FULL_SCAN_MARKERS,
+            _SLOS_KEY,
+            _WINDOWS_KEY,
+        )
+
+        project = ProjectState()
+        project.scanned_pkgs = set(_FULL_SCAN_MARKERS)
+        project.contributions[_CATALOG_KEY] = [
+            ("slo", "slo.ghost", 7, "src/repro/telemetry/catalog.py"),
+            ("window", "serve.window.ghost", 9,
+             "src/repro/telemetry/catalog.py"),
+            ("slo", "slo.live", 11, "src/repro/telemetry/catalog.py"),
+            ("window", "serve.window.live", 13,
+             "src/repro/telemetry/catalog.py"),
+        ]
+        project.contributions[_SLOS_KEY] = ["slo.live"]
+        project.contributions[_WINDOWS_KEY] = ["serve.window.live"]
+        findings = list(get_rule("TEL001").finalize(project))
+        assert len(findings) == 2
+        messages = " | ".join(f.message for f in findings)
+        assert "slo.ghost" in messages and "declared" in messages
+        assert "serve.window.ghost" in messages and "tracked" in messages
+
+    def test_catalog_parser_sees_slos_and_windows(self):
+        # The AST parser over the real catalog module finds every
+        # SLO_CATALOG entry and every window-kind METRIC_CATALOG entry
+        # (guards against the reverse check silently covering nothing).
+        import ast
+        from pathlib import Path
+
+        import repro.telemetry.catalog as catalog_mod
+        from repro.analysis.engine import FileContext
+        from repro.analysis.rules.telemetry import _catalog_entries
+        from repro.telemetry.catalog import METRIC_CATALOG, SLO_CATALOG
+
+        path = Path(catalog_mod.__file__)
+        source = path.read_text()
+        ctx = FileContext(path, str(path), source, ast.parse(source))
+        parsed = {(kind, name) for kind, name, _line in _catalog_entries(ctx)}
+        for slo_name in SLO_CATALOG:
+            assert ("slo", slo_name) in parsed
+        window_names = {name for name, (kind, *_r) in METRIC_CATALOG.items()
+                        if kind == "window"}
+        assert window_names  # the serving plane declares some
+        for name in window_names:
+            assert ("window", name) in parsed
+        # cumulative instruments must *not* enter the reverse check
+        assert ("metric", "qcs.compositions") not in parsed
+        assert ("window", "qcs.compositions") not in parsed
+
+    def test_full_repo_scan_is_clean(self):
+        # End-to-end: the shipped package passes its own two-way check.
+        from pathlib import Path
+
+        import repro
+        from repro.analysis import lint_paths
+
+        report = lint_paths([Path(repro.__file__).parent], jobs=1)
+        assert report.ok, [f.render() for f in report.findings]
+
 
 class TestCACHE001:
     def test_ungated_cache_fires_once(self, tmp_path):

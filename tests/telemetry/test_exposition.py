@@ -1,0 +1,165 @@
+"""Prometheus exposition: naming, formatting, wall labelling, and
+byte-stability of the rendered text for identical inputs.
+"""
+
+import pytest
+
+from repro.telemetry.exposition import (
+    CONTENT_TYPE,
+    prometheus_name,
+    render_prometheus,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.slo import Objective, SloEngine
+from repro.telemetry.windows import WindowConfig, WindowedMetrics
+
+
+class TestNaming:
+    def test_dotted_to_snake(self):
+        assert prometheus_name("lookup.hops") == "repro_lookup_hops"
+        assert prometheus_name("serve.window.setup_latency_us") == \
+            "repro_serve_window_setup_latency_us"
+
+    def test_invalid_chars_are_replaced(self):
+        assert prometheus_name("a-b c") == "repro_a_b_c"
+
+    def test_content_type_is_prometheus_text(self):
+        assert CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in CONTENT_TYPE
+
+
+def _registry():
+    registry = MetricsRegistry()
+    registry.counter("lookup.count").inc(42)
+    registry.gauge("probe.tables").set(7)
+    h = registry.histogram("lookup.hops")
+    for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+        h.observe(v)
+    return registry
+
+
+class TestRegistryRendering:
+    def test_counter_gets_total_suffix(self):
+        text = render_prometheus(_registry())
+        assert "# TYPE repro_lookup_count_total counter" in text
+        assert "repro_lookup_count_total 42" in text
+
+    def test_gauge(self):
+        text = render_prometheus(_registry())
+        assert "# TYPE repro_probe_tables gauge" in text
+        assert "repro_probe_tables 7" in text
+
+    def test_histogram_as_summary_with_reservoir_caveat(self):
+        text = render_prometheus(_registry())
+        assert "# TYPE repro_lookup_hops summary" in text
+        assert "first 10k observations" in text
+        assert 'repro_lookup_hops{quantile="0.50"} 3' in text
+        assert "repro_lookup_hops_sum 15" in text
+        assert "repro_lookup_hops_count 5" in text
+
+    def test_trailing_newline(self):
+        assert render_prometheus(_registry()).endswith("\n")
+
+    def test_int_like_floats_render_short(self):
+        text = render_prometheus(_registry())
+        assert "repro_lookup_count_total 42.0" not in text
+
+
+def _windows_snapshot():
+    wm = WindowedMetrics(clock=lambda: 2.0,
+                         config=WindowConfig(width=4.0, step=0.5))
+    wm.track("serve.window.requests", kind="counter")
+    wm.track("serve.window.setup_latency_us", wall=True)
+    for i in range(8):
+        wm.observe("serve.window.requests", 1.0, now=0.25 * i)
+        wm.observe("serve.window.setup_latency_us", 100.0 * i, now=0.25 * i)
+    return wm.snapshot(now=2.0)
+
+
+class TestWindowRendering:
+    def test_windowed_series_lines(self):
+        text = render_prometheus(MetricsRegistry(),
+                                 windows=_windows_snapshot())
+        assert ('repro_window_count{series="serve.window.requests"} 8'
+                in text)
+        assert "# TYPE repro_window_rate gauge" in text
+        assert "repro_window_p95{" in text
+
+    def test_wall_series_carry_clock_label(self):
+        text = render_prometheus(MetricsRegistry(),
+                                 windows=_windows_snapshot())
+        assert ('series="serve.window.setup_latency_us",clock="wall"'
+                in text)
+        # the sim-fed series must NOT carry the label
+        assert ('series="serve.window.requests",clock' not in text)
+
+    def test_include_wall_false_drops_wall_series(self):
+        text = render_prometheus(MetricsRegistry(),
+                                 windows=_windows_snapshot(),
+                                 include_wall=False)
+        assert "setup_latency_us" not in text
+        assert 'series="serve.window.requests"' in text
+
+
+def _slo_doc():
+    wm = WindowedMetrics(clock=lambda: 2.0,
+                         config=WindowConfig(width=4.0, step=0.5))
+    wm.track("serve.window.requests", kind="counter")
+    wm.track("serve.window.admits", kind="counter")
+    wm.track("serve.window.setup_latency_us", wall=True)
+    for i in range(10):
+        wm.observe("serve.window.requests", 1.0, now=0.2 * i)
+        if i % 2 == 0:
+            wm.observe("serve.window.admits", 1.0, now=0.2 * i)
+        wm.observe("serve.window.setup_latency_us", 50.0, now=0.2 * i)
+    objectives = (
+        Objective(name="slo.psi", description="floor", kind="floor",
+                  target=0.85, series="serve.window.admits", stat="ratio",
+                  denominator="serve.window.requests", min_count=1),
+        Objective(name="slo.setup_latency_p95", description="wall ceiling",
+                  kind="ceiling", target=100.0,
+                  series="serve.window.setup_latency_us", stat="p95",
+                  min_count=1),
+    )
+    engine = SloEngine(wm, objectives)
+    engine.evaluate(2.0)
+    return wm.snapshot(now=2.0), engine.as_dict()
+
+
+class TestSloRendering:
+    def test_states_and_burns(self):
+        windows, slo = _slo_doc()
+        text = render_prometheus(MetricsRegistry(), windows=windows, slo=slo)
+        # ψ = 0.5 against a 0.85 floor on both windows -> breach (2)
+        assert 'repro_slo_state{slo="slo.psi"} 2' in text
+        assert 'repro_slo_target{slo="slo.psi"} 0.85' in text
+        assert "repro_slo_burn_long{" in text
+        assert "repro_slo_burn_short{" in text
+
+    def test_wall_fed_objective_carries_clock_label(self):
+        windows, slo = _slo_doc()
+        text = render_prometheus(MetricsRegistry(), windows=windows, slo=slo)
+        assert ('repro_slo_state{slo="slo.setup_latency_p95",clock="wall"}'
+                in text)
+
+    def test_include_wall_false_drops_wall_fed_objectives(self):
+        windows, slo = _slo_doc()
+        text = render_prometheus(MetricsRegistry(), windows=windows, slo=slo,
+                                 include_wall=False)
+        assert "setup_latency" not in text
+        assert 'repro_slo_state{slo="slo.psi"}' in text
+
+
+class TestByteStability:
+    def test_identical_inputs_render_identically(self):
+        a = render_prometheus(_registry(), windows=_windows_snapshot(),
+                              slo=_slo_doc()[1])
+        b = render_prometheus(_registry(), windows=_windows_snapshot(),
+                              slo=_slo_doc()[1])
+        assert a == b
+
+    def test_deterministic_subset_is_wall_free(self):
+        windows, slo = _slo_doc()
+        text = render_prometheus(_registry(), windows=windows, slo=slo,
+                                 include_wall=False)
+        assert "wall" not in text

@@ -86,3 +86,19 @@ class TestRegistry:
 
     def test_summary_table_empty(self):
         assert MetricsRegistry().summary_table() == "(no metrics recorded)"
+
+    def test_summary_table_labels_frozen_percentiles(self):
+        # Cumulative histogram percentiles cover only the first
+        # ``reservoir_cap`` observations; the table must say so.
+        reg = MetricsRegistry()
+        reg.histogram("lookup.hops").observe(5)
+        assert "(percentiles: first 10k observations)" in reg.summary_table()
+
+    def test_snapshot_reports_reservoir_occupancy(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lookup.hops")
+        for v in range(20):
+            h.observe(v)
+        snap = reg.snapshot()["histograms"]["lookup.hops"]
+        assert snap["reservoir"] == 20
+        assert snap["reservoir_cap"] == h._cap
