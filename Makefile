@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: install test test-full test-log bench bench-log bench-paper \
         figures figures-quick examples coverage clean profile \
-        perf-record perf-check lint serve loadgen top soak
+        perf-record perf-check perf-scale lint serve loadgen top soak
 
 # Coverage floor enforced by `make coverage` and the CI test job.
 COV_MIN ?= 70
@@ -53,6 +53,13 @@ profile:
 
 perf-record:
 	$(PYTHON) -m repro perf record
+
+# The scaling-curve probe on its own (scale-1x = the paper's 10^4
+# peers, scale-10x = 10^5): records to a gitignored scratch document
+# so it never claims a BENCH_<n> slot by accident.
+perf-scale:
+	PYTHONPATH=src $(PYTHON) -m repro perf record \
+		--scenarios scale-1x scale-10x --out BENCH_scale_local.json
 
 perf-check:
 	@latest=$$(ls BENCH_*.json | sort -V | tail -1); \

@@ -37,6 +37,7 @@ BENCH_ORDER = {
     "bench_fault_tolerance": 16,
     "bench_flash_crowd": 17,
     "bench_latency_aware": 18,
+    "bench_soa_scale": 19,
 }
 
 

@@ -1,0 +1,82 @@
+"""Ad-hoc differential check: SoA vs object backend, byte-identical telemetry."""
+import sys
+import tempfile
+from dataclasses import replace
+from pathlib import Path
+
+sys.path.insert(0, "src")
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.grid import GridConfig
+from repro.network.churn import ChurnConfig
+from repro.probing.prober import ProbingConfig
+from repro.workload.generator import WorkloadConfig
+
+PLAN = FaultPlan((
+    FaultSpec(kind="probe_loss", rate=0.3),
+    FaultSpec(kind="lookup_failure", rate=0.15),
+    FaultSpec(kind="admission_failure", rate=0.1),
+    FaultSpec(kind="stale_state", rate=0.5, staleness=2.0),
+    FaultSpec(kind="partition", start=2.0, end=4.0, fraction=0.3),
+), name="diff")
+
+
+def run(backend: str, churn_rate: float, faulted: bool, path: str):
+    grid = GridConfig(
+        n_peers=250,
+        probing=ProbingConfig(budget=10),
+        seed=3,
+        telemetry=True,
+        peer_state_backend=backend,
+    )
+    if churn_rate > 0:
+        grid = replace(grid, churn=ChurnConfig(rate_per_min=churn_rate))
+    if faulted:
+        grid = replace(grid, faults=PLAN)
+    cfg = ExperimentConfig(
+        grid=grid,
+        workload=WorkloadConfig(
+            rate_per_min=30.0, horizon=10.0, duration_range=(1.0, 8.0)
+        ),
+        drain_minutes=10.0,
+        telemetry_export=path,
+    )
+    res = run_experiment(cfg)
+    return res
+
+
+def main():
+    ok = True
+    for label, churn_rate, faulted in (
+        ("baseline", 0.0, False),
+        ("churn", 5.0, False),
+        ("faulted", 0.0, True),
+    ):
+        with tempfile.TemporaryDirectory() as td:
+            pa = str(Path(td) / "soa.jsonl")
+            pb = str(Path(td) / "obj.jsonl")
+            ra = run("soa", churn_rate, faulted, pa)
+            rb = run("object", churn_rate, faulted, pb)
+            ba = Path(pa).read_bytes()
+            bb = Path(pb).read_bytes()
+            same = ba == bb
+            ok = ok and same
+            print(
+                f"{label}: soa psi={ra.success_ratio:.6f} obj psi={rb.success_ratio:.6f} "
+                f"events {ra.n_telemetry_events}/{rb.n_telemetry_events} "
+                f"bytes {len(ba)}/{len(bb)} identical={same}"
+            )
+            if not same:
+                for i, (la, lb) in enumerate(zip(ba.splitlines(), bb.splitlines())):
+                    if la != lb:
+                        print(f"  first diff at line {i}:")
+                        print(f"    soa: {la[:300]!r}")
+                        print(f"    obj: {lb[:300]!r}")
+                        break
+    sys.exit(0 if ok else 1)
+
+
+if __name__ == "__main__":
+    main()

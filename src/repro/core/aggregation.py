@@ -447,6 +447,10 @@ class QSAAggregator(BaseAggregator):
         n = len(composed.instances)
         selected_reverse: List[int] = []
         current = request.peer_id
+        # Flatten the candidate lists once; each hop's resolve gets its
+        # suffix as an array slice instead of re-flattening.
+        plan_fn = getattr(self.probing, "selection_plan", None)
+        plan = plan_fn(hosts_selection_order) if plan_fn is not None else None
         for i in range(n):
             inst = composed.instances[n - 1 - i]  # i hops from the user
             candidates = hosts_selection_order[i]
@@ -454,11 +458,21 @@ class QSAAggregator(BaseAggregator):
             # remaining hops' candidate providers (direct neighbors at
             # the requesting host, indirect along the chain).
             with tracer.span("probing.resolve", peer=current):
-                self.probing.resolve_selection_hops(
-                    current,
-                    hosts_selection_order[i:],
-                    direct=(current == request.peer_id),
-                )
+                if plan is None:
+                    self.probing.resolve_selection_hops(
+                        current,
+                        hosts_selection_order[i:],
+                        direct=(current == request.peer_id),
+                    )
+                else:
+                    flat_all, hops_all, off = plan
+                    start = off[i]
+                    self.probing.resolve_selection_hops(
+                        current,
+                        hosts_selection_order[i:],
+                        direct=(current == request.peer_id),
+                        plan=(flat_all[start:], hops_all[start:] - i),
+                    )
             outcome = self.selector.select_hop(
                 selecting_peer=current,
                 candidates=candidates,

@@ -201,10 +201,10 @@ class PhiWeights:
         latencies_ms: ``(n,)`` candidate->selector latencies (only used
             when the profile carries a latency weight).
         """
-        with np.errstate(divide="ignore"):
-            ratios = np.where(
-                requirement > 0, availability / requirement, _RATIO_CAP
-            )
+        # divide(out=CAP, where=req>0) is bitwise np.where(req>0, a/r, CAP)
+        # without materializing the infinities (or the errstate guard).
+        ratios = np.full_like(availability, _RATIO_CAP)
+        np.divide(availability, requirement, out=ratios, where=requirement > 0)
         np.minimum(ratios, _RATIO_CAP, out=ratios)
         if bandwidth_req > 0:
             bw = np.minimum(betas / bandwidth_req, _RATIO_CAP)
@@ -334,6 +334,15 @@ class PeerSelector:
         if n_candidates == 0:
             return SelectionOutcome(None, False, 0, 0)
 
+        observe_block = getattr(self.view, "observe_block", None)
+        if observe_block is not None:
+            block = observe_block(selecting_peer, candidates)
+            if block is not None:
+                return self._select_hop_block(
+                    candidates, requirement, bandwidth_req,
+                    session_duration, rng, block,
+                )
+
         known: list[Tuple[int, PeerInfo]] = []
         observe_many = getattr(self.view, "observe_many", None)
         if observe_many is not None:
@@ -404,4 +413,76 @@ class PeerSelector:
         best = int(np.argmax(scores))
         return SelectionOutcome(
             qualified[best][0], False, n_candidates, len(known), float(scores[best])
+        )
+
+    def _select_hop_block(
+        self,
+        candidates: Sequence[int],
+        requirement: ResourceVector,
+        bandwidth_req: float,
+        session_duration: float,
+        rng: np.random.Generator,
+        block: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    ) -> SelectionOutcome:
+        """One selection step over an ``observe_block`` array view.
+
+        Replicates every branch, filter, RNG draw and Φ evaluation of the
+        per-PeerInfo path bit-for-bit: the uptime/covers/β filters become
+        masked reductions over the block, the Φ ranking a single
+        ``phi_batch`` over the qualified sub-block, and the two random
+        fallbacks consume the same ``rng.integers`` draws on the same
+        branch conditions.
+        """
+        n_candidates = len(candidates)
+        known_mask, avail, betas, uptimes, latencies = block
+        n_known = len(betas)
+        if n_known == 0:
+            pick = int(rng.integers(n_candidates))
+            return SelectionOutcome(candidates[pick], True, n_candidates, 0)
+
+        qual = np.ones(n_known, dtype=bool)
+        if self.uptime_filter:
+            qual &= uptimes >= session_duration
+        if self.feasibility_filter:
+            qual &= (avail >= requirement.values).all(axis=1)
+            qual &= betas >= bandwidth_req
+        n_qual = int(qual.sum())
+
+        # Positions (in `candidates`) of the known occurrences, aligned
+        # with the block arrays.
+        kpos = np.flatnonzero(known_mask)
+        if n_qual == 0:
+            known_ids = {candidates[i] for i in kpos}
+            unknown = [pid for pid in candidates if pid not in known_ids]
+            if unknown:
+                pick = int(rng.integers(len(unknown)))
+                return SelectionOutcome(
+                    unknown[pick], True, n_candidates, n_known
+                )
+            qual[:] = True
+            n_qual = n_known
+
+        if n_qual == 1:
+            j = int(np.argmax(qual))
+            availability = ResourceVector.__new__(ResourceVector)
+            availability.names = requirement.names
+            availability.values = avail[j]
+            phi = self.weights.phi(
+                availability, requirement, betas[j], bandwidth_req,
+                latency_ms=latencies[j],
+            )
+            return SelectionOutcome(
+                candidates[kpos[j]], False, n_candidates, n_known, phi
+            )
+
+        qidx = np.flatnonzero(qual)
+        scores = self.weights.phi_batch(
+            avail[qidx], requirement.values, betas[qidx], bandwidth_req,
+            latencies_ms=latencies[qidx]
+            if self.weights.latency_weight > 0 else None,
+        )
+        best = int(np.argmax(scores))
+        return SelectionOutcome(
+            candidates[kpos[qidx[best]]], False, n_candidates, n_known,
+            float(scores[best]),
         )

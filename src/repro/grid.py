@@ -37,6 +37,7 @@ from repro.lookup.chord import ChordRing
 from repro.lookup.registry import ServiceRegistry
 from repro.network.churn import ChurnConfig, ChurnProcess
 from repro.network.peer import Peer, PeerDirectory
+from repro.network.soa import SoAPeerDirectory
 from repro.network.topology import NetworkModel
 from repro.probing.prober import ProbingConfig, ProbingService
 from repro.services.applications import (
@@ -132,6 +133,14 @@ class GridConfig:
     #: kernel additionally requires ``fast_paths`` and degrades to the
     #: reference DP when the gate is off.
     composition_kernel: str = "vectorized"
+    #: Peer-state representation: ``"soa"`` (struct-of-arrays
+    #: :class:`repro.network.soa.PeerStore` -- contiguous numpy state
+    #: matrices driving vectorized selection/probing/admission planes)
+    #: or ``"object"`` (one Python ``Peer`` per host -- the differential
+    #: oracle).  Both produce byte-identical telemetry per seed (proven
+    #: by tests/perf/test_soa_differential.py); ``"soa"`` is the scale
+    #: backend the 10^4..10^5-peer scenarios require.
+    peer_state_backend: str = "soa"
     #: Fault injection plan; ``None`` (or an empty plan) keeps every
     #: substrate operation reliable and the fast paths fault-check-free.
     faults: Optional[FaultPlan] = None
@@ -153,6 +162,11 @@ class GridConfig:
                 f"unknown composition kernel {self.composition_kernel!r} "
                 "(vectorized/dp/dijkstra)"
             )
+        if self.peer_state_backend not in ("soa", "object"):
+            raise ValueError(
+                f"unknown peer state backend {self.peer_state_backend!r} "
+                "(soa/object)"
+            )
 
 
 class P2PGrid:
@@ -172,7 +186,12 @@ class P2PGrid:
         self.translator = AnalyticTranslator(config.resource_names)
 
         # -- peers -------------------------------------------------------
-        self.directory = PeerDirectory(config.resource_names)
+        if config.peer_state_backend == "soa":
+            self.directory = SoAPeerDirectory(
+                config.resource_names, initial_rows=config.n_peers
+            )
+        else:
+            self.directory = PeerDirectory(config.resource_names)
         peer_rng = self.rngs.stream("peers")
         for _ in range(config.n_peers):
             self._spawn_peer_inner(

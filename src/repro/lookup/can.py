@@ -329,6 +329,17 @@ class CanNetwork:
             tel = self.telemetry
             if tel is not None:
                 tel.metrics.counter("cache.route.misses").inc()
+        current, hops = self._route(key, from_peer, cache)
+        self._account_lookup(key, from_peer, hops)
+        return current, hops
+
+    def _route(self, key: str, from_peer: int, cache) -> Tuple[CanNode, int]:
+        """The greedy zone walk; pure w.r.t. simulated state.
+
+        Only the route memo (metrics-invisible) is written, so this is
+        shared by :meth:`lookup` and the dry probe
+        :meth:`cached_route_hops`.
+        """
         point = self.point_for_key(key)
         start = self._nodes.get(from_peer)
         hops = 0
@@ -366,7 +377,6 @@ class CanNetwork:
             hops += 1
         if cache is not None:
             cache.put((key, from_peer), (current.peer_id, hops))
-        self._account_lookup(key, from_peer, hops)
         return current, hops
 
     def _account_lookup(self, key: str, from_peer: int, hops: int) -> None:
@@ -386,6 +396,25 @@ class CanNetwork:
         """Replay lookup accounting for a read served from a value cache
         (see :meth:`repro.lookup.chord.ChordRing.note_cached_lookup`)."""
         self._account_lookup(key, from_peer, hops)
+
+    def cached_route_hops(self, key: str, from_peer: int) -> Optional[int]:
+        """The exact hop count a routed lookup would report, if memoized.
+
+        Greedy zone routing is a pure function of (key, start peer) for
+        a fixed membership, so the answer is exact: served from the
+        route memo, or computed by a dry :meth:`_route` (no statistics,
+        no telemetry, no store access; see
+        :meth:`repro.lookup.chord.ChordRing.cached_route_hops`).
+        """
+        if not self.fast_paths or not self._nodes:
+            return None
+        cache = self._route_cache
+        cache.check_generation(self.generation)
+        entry = cache.get((key, from_peer))
+        if entry is not None:
+            return entry[1]
+        _, hops = self._route(key, from_peer, cache)
+        return hops
 
     @property
     def route_cache_stats(self):

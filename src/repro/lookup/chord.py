@@ -30,6 +30,8 @@ import bisect
 import hashlib
 from typing import Any, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.lookup.cache import BoundedCache
 
 __all__ = ["ChordNode", "ChordRing"]
@@ -91,6 +93,15 @@ class ChordRing:
         #: as the route memo.
         self._finger_cache: Dict[int, List[int]] = {}
         self._finger_gen = -1
+        #: Sorted ids as a numpy array (rebuilt lazily per generation)
+        #: for the vectorized finger build.
+        self._ids_arr: Optional[np.ndarray] = None
+        #: Finger offsets 2^(bits-1) .. 2^0, matching the probe order.
+        self._pow2 = np.array(
+            [1 << i for i in range(bits - 1, -1, -1)], dtype=np.uint64
+        )
+        #: key -> key_id memo (pure function of the key for a fixed seed).
+        self._key_ids: Dict[str, int] = {}
         #: Routing statistics.
         self.n_lookups = 0
         self.total_hops = 0
@@ -100,7 +111,12 @@ class ChordRing:
         return _hash_to_id(f"{self.seed}/peer/{peer_id}", self.bits)
 
     def key_id(self, key: str) -> int:
-        return _hash_to_id(f"{self.seed}/key/{key}", self.bits)
+        kid = self._key_ids.get(key)
+        if kid is None:
+            kid = _hash_to_id(f"{self.seed}/key/{key}", self.bits)
+            if len(self._key_ids) < self.ROUTE_CACHE_CAP:
+                self._key_ids[key] = kid
+        return kid
 
     # -- membership ------------------------------------------------------------
     def __len__(self) -> int:
@@ -120,12 +136,22 @@ class ChordRing:
         if self._ids:
             successor = self._successor_node(node_id)
             # Keys in (pred(node), node] move from the successor to the
-            # new node: exactly the keys whose responsible node is now us.
-            moving = [
-                k
-                for k in successor.store
-                if self._responsible_id(self.key_id(k), extra=node_id) == node_id
-            ]
+            # new node: exactly the keys whose responsible node is now
+            # us.  The circular-interval test is equivalent to (and much
+            # cheaper than) re-running responsibility with the candidate
+            # id spliced in per key.
+            pred = self._ids[bisect.bisect_left(self._ids, node_id) - 1]
+            kid = self.key_id
+            if pred < node_id:
+                moving = [
+                    k for k in successor.store if pred < kid(k) <= node_id
+                ]
+            else:
+                moving = [
+                    k
+                    for k in successor.store
+                    if kid(k) > pred or kid(k) <= node_id
+                ]
             for k in moving:
                 node.store[k] = successor.store.pop(k)
         bisect.insort(self._ids, node_id)
@@ -202,13 +228,22 @@ class ChordRing:
         if self._finger_gen != self.generation:
             self._finger_cache.clear()
             self._finger_gen = self.generation
+            self._ids_arr = None
         fingers = self._finger_cache.get(node_id)
         if fingers is None:
-            space = 1 << self.bits
-            fingers = [
-                self._successor_node((node_id + (1 << i)) % space).node_id
-                for i in range(self.bits - 1, -1, -1)
-            ]
+            # Vectorized successor resolution: one searchsorted over the
+            # sorted id array replaces ``bits`` bisect+dict probes.  The
+            # values are exactly ``successor(node_id + 2^i)`` -- wrap
+            # handled by sending end-of-array hits back to index 0.
+            ids = self._ids_arr
+            if ids is None:
+                ids = self._ids_arr = np.array(self._ids, dtype=np.uint64)
+            targets = self._pow2 + np.uint64(node_id)
+            if self.bits < 64:
+                targets &= np.uint64((1 << self.bits) - 1)
+            idx = np.searchsorted(ids, targets, side="left")
+            idx[idx == len(ids)] = 0
+            fingers = ids[idx].tolist()
             if len(self._finger_cache) < self.FINGER_CACHE_CAP:
                 self._finger_cache[node_id] = fingers
         return fingers
@@ -336,6 +371,32 @@ class ChordRing:
         hop count), keeping seeded exports byte-identical.
         """
         self._account_lookup(key, from_peer, hops)
+
+    def cached_route_hops(self, key: str, from_peer: int) -> Optional[int]:
+        """The exact hop count a routed lookup would report, if memoized.
+
+        With a fixed membership the greedy walk is a pure function of
+        (key, start node), so the answer is *exact* by construction:
+        either the route memo already holds the start node's remaining
+        distance, or a dry walk (no statistics, no telemetry, no store
+        access -- it only extends the memo, which is metrics-invisible)
+        computes it, short-circuiting at the first memoized trail node.
+        The registry's value-layer cache uses this to serve repeated
+        reads of an unchanged record from *any* requester while
+        replaying byte-identical ``lookup.done`` telemetry.
+        """
+        if not self.fast_paths or not self._ids:
+            return None
+        start_id = self._peer_to_id.get(from_peer)
+        if start_id is None:
+            start_id = self._successor_node(self.node_id_for(from_peer)).node_id
+        cache = self._route_cache
+        cache.check_generation(self.generation)
+        entry = cache.get((key, start_id))
+        if entry is not None:
+            return entry[0]
+        _, hops = self._walk(key, start_id, cache)
+        return hops
 
     @property
     def route_cache_stats(self):

@@ -29,7 +29,7 @@ found", which the composition layer already treats as NO_CANDIDATES.
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Iterable, Protocol, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, Optional, Protocol, Tuple
 
 from repro.lookup.cache import BoundedCache
 from repro.services.catalog import ServiceCatalog
@@ -58,6 +58,7 @@ class DhtProtocol(Protocol):
     def join(self, peer_id: int): ...
     def leave(self, peer_id: int) -> None: ...
     def note_cached_lookup(self, key: str, from_peer: int, hops: int) -> None: ...
+    def cached_route_hops(self, key: str, from_peer: int) -> Optional[int]: ...
     def __contains__(self, peer_id: int) -> bool: ...
 
 
@@ -68,12 +69,17 @@ class ServiceRegistry:
     INSTANCE_PREFIX = "instance:"
 
     #: Value-layer record cache (synced with ``GridConfig.fast_paths`` by
-    #: the grid).  An entry ``(key, from_peer) -> (value, hops)`` is
-    #: valid only while *both* the ring-membership generation and the
-    #: record's per-key generation (bumped by ``peer_joined``/
-    #: ``peer_departed`` content updates) are unchanged; a hit replays
-    #: the exact hop count and ``lookup.done`` telemetry the routed walk
-    #: would have produced.  Disabled whenever a fault injector is
+    #: the grid).  An entry ``key -> value`` is valid only while *both*
+    #: the ring-membership generation and the record's per-key generation
+    #: (bumped by ``peer_joined``/``peer_departed`` content updates) are
+    #: unchanged.  A hit additionally needs the substrate's route memo to
+    #: answer :meth:`~repro.lookup.chord.ChordRing.cached_route_hops` for
+    #: the requesting peer -- that exact hop count (and the matching
+    #: ``lookup.done`` telemetry) is replayed, so any peer whose start
+    #: node lay on an earlier routed trail is served without a walk.
+    #: (Keying the value layer per ``(key, from_peer)`` made the hit rate
+    #: collapse to ~0: requesters are drawn at random, so the same pair
+    #: almost never recurs.)  Disabled whenever a fault injector is
     #: attached -- every routed attempt must keep drawing its fault RNG.
     fast_paths = True
     #: Optional :class:`repro.telemetry.Telemetry`; set by the grid (cache
@@ -156,22 +162,23 @@ class ServiceRegistry:
         cache = self._record_cache
         cache.check_generation(self.ring.generation)
         key_gen = self._key_gens.get(key, 0)
-        entry = cache.get((key, from_peer))
+        entry = cache.get(key)
         tel = self.telemetry
-        if entry is not None and entry[2] == key_gen:
-            value, hops = entry[0], entry[1]
-            cache.stats.hits += 1
-            if tel is not None:
-                tel.metrics.counter("cache.record.hits").inc()
-            # Replay the routed walk's accounting exactly (same
-            # lookup.done event, same hop count, same ring statistics).
-            self.ring.note_cached_lookup(key, from_peer, hops)
-            return value, hops, True
+        if entry is not None and entry[1] == key_gen:
+            hops = self.ring.cached_route_hops(key, from_peer)
+            if hops is not None:
+                cache.stats.hits += 1
+                if tel is not None:
+                    tel.metrics.counter("cache.record.hits").inc()
+                # Replay the routed walk's accounting exactly (same
+                # lookup.done event, same hop count, same ring stats).
+                self.ring.note_cached_lookup(key, from_peer, hops)
+                return entry[0], hops, True
         cache.stats.misses += 1
         if tel is not None:
             tel.metrics.counter("cache.record.misses").inc()
         value, hops = self._routed_get(key, from_peer)
-        cache.put((key, from_peer), (value, hops, key_gen))
+        cache.put(key, (value, key_gen))
         return value, hops, False
 
     def _account_discovery(self, hops: int, cached: bool) -> None:

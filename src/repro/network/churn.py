@@ -110,6 +110,7 @@ class ChurnProcess:
         if self.telemetry is not None:
             self.telemetry.metrics.counter("churn.arrivals").inc()
             self.telemetry.bus.emit("churn.join", peer=peer.peer_id)
+            self._update_store_gauges()
         return peer
 
     def pick_departing_peer(self) -> Optional[int]:
@@ -136,7 +137,24 @@ class ChurnProcess:
         self.on_departure(pid)
         self.directory.depart(pid, self.sim.now)
         self.n_departures += 1
+        if self.telemetry is not None:
+            self._update_store_gauges()
         return pid
+
+    def _update_store_gauges(self) -> None:
+        """Mirror the SoA store's membership bookkeeping into gauges.
+
+        Counters/gauges sit outside the event stream, so this is
+        backend-divergent by design (the exactness contract covers
+        events only); the object directory simply has no store and
+        skips the gauges entirely.
+        """
+        store = getattr(self.directory, "store", None)
+        if store is None:
+            return
+        metrics = self.telemetry.metrics
+        metrics.gauge("store.generation").set(store.generation)
+        metrics.gauge("store.rows_recycled").set(store.rows_recycled)
 
     # -- the per-minute process -------------------------------------------------
     def _run(self) -> Iterator:

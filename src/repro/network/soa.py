@@ -1,0 +1,463 @@
+"""Struct-of-arrays peer state: the 10^4..10^5-peer representation.
+
+The object-backed :class:`~repro.network.peer.PeerDirectory` keeps one
+Python ``Peer`` per host, which makes every hot plane -- candidate
+selection, prober snapshot refresh, admission accounting -- a Python
+loop over objects.  This module stores the same state as contiguous
+numpy arrays (:class:`PeerStore`) so those planes can operate on array
+slices, and keeps the ``Peer`` surface alive as a thin row-view facade
+(:class:`PeerRowView`) so every existing caller of ``PeerDirectory``'s
+public API keeps working unchanged.
+
+Layout
+------
+:class:`PeerStore` owns, per row:
+
+* ``capacity``/``available`` -- ``(rows, m)`` end-system resource
+  matrices (``available`` is the admission ledger's debit target),
+* ``access_bw``/``avail_up``/``avail_down`` -- access-link state,
+* ``joined_at``/``departed_at``/``alive`` -- uptime + occupancy,
+* ``snap_*`` -- the prober's soft-state freshness plane: per-row
+  epoch-snapshotted availability/uplink/uptime and the epoch stamp
+  that makes a snapshot current (see ``probing/prober.py``).
+
+Rows are recycled through a free list when peers depart; ``generation``
+bumps on every membership change (the same invalidation discipline the
+discovery-plane caches use, see ``lookup/cache.py``), so anything
+holding row indices can cheaply detect staleness.
+
+Departure semantics
+-------------------
+The object directory keeps departed ``Peer`` corpses forever (session
+rollback deliberately credits them; the stale-state fault serves their
+last snapshot).  Here a departing peer's final state is copied into a
+detached object-backend ``Peer`` tombstone before its row returns to
+the free list -- mutations on the corpse (rollback credits) hit the
+tombstone, never a recycled row, and the directory keeps answering
+``get``/``__getitem__``/``__contains__`` for departed ids exactly like
+the object backend.  The differential suite
+(tests/perf/test_soa_differential.py) proves the two backends produce
+byte-identical telemetry per seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.resources import ResourceVector
+from repro.network.peer import Peer
+
+__all__ = ["PeerStore", "PeerRowView", "SoAPeerDirectory"]
+
+
+class PeerStore:
+    """Contiguous per-peer state arrays with row recycling.
+
+    Rows are allocated by :meth:`alloc_row` (free list first, then the
+    append cursor; arrays grow by doubling) and returned by
+    :meth:`free_row`.  ``generation`` increments on every allocation
+    and every free, mirroring the membership-generation discipline of
+    the discovery caches.
+    """
+
+    def __init__(self, resource_names: Sequence[str], initial_rows: int = 256) -> None:
+        self.resource_names = tuple(resource_names)
+        rows = max(int(initial_rows), 16)
+        m = len(self.resource_names)
+        self.capacity = np.zeros((rows, m), dtype=np.float64)
+        self.available = np.zeros((rows, m), dtype=np.float64)
+        self.access_bw = np.zeros(rows, dtype=np.float64)
+        self.avail_up = np.zeros(rows, dtype=np.float64)
+        self.avail_down = np.zeros(rows, dtype=np.float64)
+        self.joined_at = np.zeros(rows, dtype=np.float64)
+        self.departed_at = np.full(rows, np.nan, dtype=np.float64)
+        self.alive = np.zeros(rows, dtype=bool)
+        # -- prober soft-state freshness plane ---------------------------
+        #: Epoch stamp of the row's snapshot; -1 = never snapshotted
+        #: (reset on row recycling so a reused row can never serve a
+        #: prior tenant's state).
+        self.snap_epoch = np.full(rows, -1, dtype=np.int64)
+        self.snap_avail = np.zeros((rows, m), dtype=np.float64)
+        self.snap_up = np.zeros(rows, dtype=np.float64)
+        self.snap_uptime = np.zeros(rows, dtype=np.float64)
+        #: Membership generation (bumped on alloc/free) -- the PR-4
+        #: invalidation discipline for anything caching row indices.
+        self.generation = 0
+        #: Lifetime counters (capability/status reporting).
+        self.rows_recycled = 0
+        self._free: List[int] = []
+        self._high = 0  # append cursor / high-water mark
+
+    # -- row lifecycle ---------------------------------------------------
+    @property
+    def row_capacity(self) -> int:
+        return len(self.access_bw)
+
+    @property
+    def n_rows(self) -> int:
+        """Occupied rows (== alive peers)."""
+        return self._high - len(self._free)
+
+    def _grow(self, min_rows: int) -> None:
+        new = max(min_rows, 2 * self.row_capacity)
+        for name in (
+            "capacity", "available", "access_bw", "avail_up", "avail_down",
+            "joined_at", "departed_at", "alive",
+            "snap_epoch", "snap_avail", "snap_up", "snap_uptime",
+        ):
+            old = getattr(self, name)
+            shape = (new,) + old.shape[1:]
+            fresh = np.zeros(shape, dtype=old.dtype)
+            if name == "departed_at":
+                fresh.fill(np.nan)
+            elif name == "snap_epoch":
+                fresh.fill(-1)
+            fresh[: len(old)] = old
+            setattr(self, name, fresh)
+
+    def alloc_row(self) -> int:
+        if self._free:
+            row = self._free.pop()
+            self.rows_recycled += 1
+        else:
+            if self._high >= self.row_capacity:
+                self._grow(self._high + 1)
+            row = self._high
+            self._high += 1
+        self.generation += 1
+        return row
+
+    def free_row(self, row: int) -> None:
+        self.alive[row] = False
+        self.snap_epoch[row] = -1
+        self._free.append(row)
+        self.generation += 1
+
+    def init_row(
+        self, row: int, capacity: np.ndarray, access_bw: float, joined_at: float
+    ) -> None:
+        self.capacity[row] = capacity
+        self.available[row] = capacity
+        self.access_bw[row] = access_bw
+        self.avail_up[row] = access_bw
+        self.avail_down[row] = access_bw
+        self.joined_at[row] = joined_at
+        self.departed_at[row] = np.nan
+        self.alive[row] = True
+        self.snap_epoch[row] = -1
+
+    # -- introspection ---------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Total bytes held by the state arrays (capability reporting)."""
+        return sum(
+            getattr(self, name).nbytes
+            for name in (
+                "capacity", "available", "access_bw", "avail_up",
+                "avail_down", "joined_at", "departed_at", "alive",
+                "snap_epoch", "snap_avail", "snap_up", "snap_uptime",
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<PeerStore {self.n_rows}/{self.row_capacity} rows, "
+            f"gen={self.generation}, {self.memory_bytes()} B>"
+        )
+
+
+class PeerRowView:
+    """A ``Peer``-shaped facade over one :class:`PeerStore` row.
+
+    Never caches array views: every property fetches through the store
+    so buffer growth (reallocation) can never leave a stale alias.
+    Row views exist only for *alive* peers -- departure replaces the
+    view with a detached tombstone (see :class:`SoAPeerDirectory`).
+    """
+
+    __slots__ = ("peer_id", "_store", "_row")
+
+    def __init__(self, peer_id: int, store: PeerStore, row: int) -> None:
+        self.peer_id = peer_id
+        self._store = store
+        self._row = row
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return True
+
+    @property
+    def departed_at(self) -> Optional[float]:
+        return None
+
+    def uptime(self, now: float) -> float:
+        return max(0.0, now - self._store.joined_at[self._row])
+
+    # -- state views -----------------------------------------------------
+    @property
+    def capacity(self) -> ResourceVector:
+        rv = ResourceVector.__new__(ResourceVector)
+        rv.names = self._store.resource_names
+        rv.values = self._store.capacity[self._row]
+        return rv
+
+    @property
+    def available(self) -> ResourceVector:
+        rv = ResourceVector.__new__(ResourceVector)
+        rv.names = self._store.resource_names
+        rv.values = self._store.available[self._row]
+        return rv
+
+    @property
+    def access_bw(self) -> float:
+        return float(self._store.access_bw[self._row])
+
+    @property
+    def avail_up(self) -> float:
+        return float(self._store.avail_up[self._row])
+
+    @avail_up.setter
+    def avail_up(self, value: float) -> None:
+        self._store.avail_up[self._row] = value
+
+    @property
+    def avail_down(self) -> float:
+        return float(self._store.avail_down[self._row])
+
+    @avail_down.setter
+    def avail_down(self, value: float) -> None:
+        self._store.avail_down[self._row] = value
+
+    @property
+    def joined_at(self) -> float:
+        return float(self._store.joined_at[self._row])
+
+    # -- end-system resource accounting ---------------------------------
+    def can_fit(self, requirement: ResourceVector) -> bool:
+        return bool(
+            (self._store.available[self._row] >= requirement.values).all()
+        )
+
+    def reserve(self, requirement: ResourceVector) -> bool:
+        avail = self._store.available[self._row]
+        if not (avail >= requirement.values).all():
+            return False
+        avail -= requirement.values
+        return True
+
+    def release(self, requirement: ResourceVector) -> None:
+        store, row = self._store, self._row
+        store.available[row] += requirement.values
+        if np.any(store.available[row] > store.capacity[row] + 1e-9):
+            raise ValueError(
+                f"peer {self.peer_id}: release exceeds capacity "
+                f"(avail={store.available[row]}, cap={store.capacity[row]})"
+            )
+
+    # -- access-link accounting ------------------------------------------
+    def reserve_up(self, bw: float) -> bool:
+        store, row = self._store, self._row
+        if bw > store.avail_up[row] + 1e-9:
+            return False
+        store.avail_up[row] -= bw
+        return True
+
+    def reserve_down(self, bw: float) -> bool:
+        store, row = self._store, self._row
+        if bw > store.avail_down[row] + 1e-9:
+            return False
+        store.avail_down[row] -= bw
+        return True
+
+    def release_up(self, bw: float) -> None:
+        store, row = self._store, self._row
+        store.avail_up[row] = min(
+            store.avail_up[row] + bw, store.access_bw[row]
+        )
+
+    def release_down(self, bw: float) -> None:
+        store, row = self._store, self._row
+        store.avail_down[row] = min(
+            store.avail_down[row] + bw, store.access_bw[row]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<PeerRowView {self.peer_id} row={self._row} "
+            f"avail={self._store.available[self._row]}>"
+        )
+
+
+class SoAPeerDirectory:
+    """Drop-in :class:`~repro.network.peer.PeerDirectory` on a PeerStore.
+
+    Same public API (create/depart/get/alive views); additionally
+    exposes :attr:`store` plus vectorized row resolution so the hot
+    planes (selection, probing, admission) can bypass the facade.
+    """
+
+    def __init__(
+        self,
+        resource_names: Sequence[str] = ("cpu", "memory"),
+        initial_rows: int = 256,
+    ) -> None:
+        self.resource_names = tuple(resource_names)
+        self.store = PeerStore(resource_names, initial_rows)
+        #: pid -> row for alive peers; -1 once departed (grown with ids).
+        self._row_of = np.full(max(initial_rows, 16), -1, dtype=np.int64)
+        #: Lazily materialized facades: PeerRowView while alive, a
+        #: detached object-backend ``Peer`` tombstone after departure.
+        self._views: Dict[int, object] = {}
+        self._departed: Dict[int, Peer] = {}
+        self._alive_ids: List[int] = []
+        self._alive_dirty = False
+        self._alive_rows_cache: Optional[np.ndarray] = None
+        self._next_id = 0
+        self._n_total = 0
+
+    # -- population ------------------------------------------------------
+    def create_peer(
+        self, capacity: ResourceVector, access_bw: float, joined_at: float
+    ):
+        if access_bw <= 0:
+            raise ValueError(
+                f"peer {self._next_id}: access bandwidth must be positive"
+            )
+        pid = self._next_id
+        self._next_id += 1
+        self._n_total += 1
+        row = self.store.alloc_row()
+        self.store.init_row(row, capacity.values, float(access_bw), float(joined_at))
+        if pid >= len(self._row_of):
+            grown = np.full(2 * len(self._row_of), -1, dtype=np.int64)
+            grown[: len(self._row_of)] = self._row_of
+            self._row_of = grown
+        self._row_of[pid] = row
+        self._alive_ids.append(pid)
+        self._alive_rows_cache = None
+        view = PeerRowView(pid, self.store, row)
+        self._views[pid] = view
+        return view
+
+    def depart(self, peer_id: int, now: float):
+        row = int(self._row_of[peer_id]) if peer_id < self._next_id else -1
+        if row < 0:
+            if peer_id in self._departed:
+                raise ValueError(f"peer {peer_id} already departed")
+            raise KeyError(peer_id)
+        store = self.store
+        # Freeze the final mutable state into a detached tombstone so
+        # post-departure mutations (rollback credits, ghost snapshots)
+        # can never touch a recycled row.
+        corpse = Peer(
+            peer_id,
+            ResourceVector(self.resource_names, store.capacity[row].copy()),
+            float(store.access_bw[row]),
+            float(store.joined_at[row]),
+        )
+        corpse.available.values[:] = store.available[row]
+        corpse.avail_up = float(store.avail_up[row])
+        corpse.avail_down = float(store.avail_down[row])
+        corpse.departed_at = now
+        store.departed_at[row] = now
+        store.free_row(row)
+        self._row_of[peer_id] = -1
+        self._departed[peer_id] = corpse
+        self._views[peer_id] = corpse
+        # In-place removal preserves the alive-id ordering the workload
+        # RNG indexes into, at C scan speed (vs. a Python refilter).
+        try:
+            self._alive_ids.remove(peer_id)
+        except ValueError:
+            self._alive_dirty = True
+        self._alive_rows_cache = None
+        return corpse
+
+    # -- lookup ----------------------------------------------------------
+    def __getitem__(self, peer_id: int):
+        view = self._views.get(peer_id)
+        if view is None:
+            raise KeyError(peer_id)
+        return view
+
+    def get(self, peer_id: int):
+        return self._views.get(peer_id)
+
+    def __contains__(self, peer_id: int) -> bool:
+        return peer_id in self._views
+
+    def __len__(self) -> int:
+        return self._n_total
+
+    def is_alive(self, peer_id: int) -> bool:
+        return 0 <= peer_id < self._next_id and self._row_of[peer_id] >= 0
+
+    # -- row resolution (the SoA fast-plane entry point) -----------------
+    def row_of(self, peer_id: int) -> int:
+        """The store row of ``peer_id``; -1 when departed or unknown."""
+        if 0 <= peer_id < self._next_id:
+            return int(self._row_of[peer_id])
+        return -1
+
+    def rows_for(self, peer_ids: np.ndarray) -> np.ndarray:
+        """Vectorized ``row_of`` (-1 marks departed/unknown ids)."""
+        return self._row_of[peer_ids]
+
+    # -- alive views ------------------------------------------------------
+    @property
+    def alive_ids(self) -> List[int]:
+        """Ids of currently alive peers (cached; O(1) when no churn)."""
+        if self._alive_dirty:
+            row_of = self._row_of
+            self._alive_ids = [
+                pid for pid in self._alive_ids if row_of[pid] >= 0
+            ]
+            self._alive_dirty = False
+        return self._alive_ids
+
+    def alive_rows(self) -> np.ndarray:
+        """Store rows of the alive peers, aligned with :attr:`alive_ids`."""
+        if self._alive_rows_cache is None:
+            ids = self.alive_ids
+            self._alive_rows_cache = self._row_of[
+                np.asarray(ids, dtype=np.int64)
+            ] if ids else np.empty(0, dtype=np.int64)
+        return self._alive_rows_cache
+
+    @property
+    def n_alive(self) -> int:
+        return len(self.alive_ids)
+
+    def alive_peers(self) -> Iterator[object]:
+        return (self._views[pid] for pid in self.alive_ids)
+
+    # -- vectorized views -------------------------------------------------
+    def uptimes(self, now: float) -> Tuple[np.ndarray, List[int]]:
+        """``(uptimes, ids)`` arrays over alive peers, aligned."""
+        ids = self.alive_ids
+        up = now - self.store.joined_at[self.alive_rows()]
+        return up, ids
+
+    def availability_matrix(self, peer_ids: Iterable[int]) -> np.ndarray:
+        """Rows of ``available`` vectors for the given peers."""
+        ids = list(peer_ids)
+        if not ids:
+            return np.empty((0, len(self.resource_names)))
+        rows = self._row_of[np.asarray(ids, dtype=np.int64)]
+        if (rows >= 0).all():
+            return self.store.available[rows].copy()
+        out = np.empty((len(ids), len(self.resource_names)))
+        for i, (pid, row) in enumerate(zip(ids, rows)):
+            if row >= 0:
+                out[i] = self.store.available[row]
+            else:
+                out[i] = self._departed[pid].available.values
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SoAPeerDirectory {self.n_alive} alive / {self._n_total} total, "
+            f"{self.store.memory_bytes()} B>"
+        )

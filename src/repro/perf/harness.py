@@ -162,11 +162,28 @@ SCENARIOS: Dict[str, Scenario] = {
         "plane on, against a plane-off control run",
         recorder=lambda seed, algorithm: _record_serving_slo(seed, algorithm),
     ),
+    "scale-1x": Scenario(
+        "scale-1x",
+        "paper scale end to end: 10^4 peers, M = 100, steady load",
+        recorder=lambda seed, algorithm: _record_scale(
+            SCENARIOS["scale-1x"].description,
+            10_000, 100.0, 10.0, seed, algorithm,
+        ),
+    ),
+    "scale-10x": Scenario(
+        "scale-10x",
+        "capacity probe: 10^5 peers, M = 1000, short steady load",
+        recorder=lambda seed, algorithm: _record_scale(
+            SCENARIOS["scale-10x"].description,
+            100_000, 100.0, 5.0, seed, algorithm,
+        ),
+    ),
 }
 
 #: Scenarios a bare ``repro perf record`` runs (smoke stays CI-only).
 DEFAULT_SCENARIOS: Tuple[str, ...] = (
-    "baseline", "churn", "heavy", "compose-stress", "serving"
+    "baseline", "churn", "heavy", "compose-stress", "serving",
+    "scale-1x", "scale-10x",
 )
 
 
@@ -185,6 +202,125 @@ def _record_serving_slo(seed: int, algorithm: str) -> Dict:
 
 
 # -- recording --------------------------------------------------------------
+
+def _scenario_record(description: str, config, result, report) -> Dict:
+    """The per-scenario bench object shared by every make-style recorder."""
+    p = report.latency_percentiles()
+    compose_spans = [
+        r for r in report.wall_spans if r.name == "qcs.compose"
+    ]
+    compose_wall = sum(r.end - r.start for r in compose_spans)
+    return {
+        "description": description,
+        "n_peers": config.grid.n_peers,
+        # Additive (validate_bench checks required fields only): the
+        # scenario's own population scale relative to the paper's 10^4
+        # peers -- the scale-Nx scenarios run above the process default.
+        "scale_factor": config.grid.n_peers / 10_000.0,
+        "rate_per_min": config.workload.rate_per_min,
+        "horizon": config.workload.horizon,
+        "churn_per_min": (
+            config.grid.churn.rate_per_min if config.grid.churn else 0.0
+        ),
+        "n_requests": result.n_requests,
+        "psi": result.success_ratio,
+        "wall_seconds": result.wall_seconds,
+        "throughput": dict(report.throughput),
+        "setup_latency_us": {
+            "count": int(p["count"]),
+            "mean": p["mean"],
+            "p50": p["p50"],
+            "p95": p["p95"],
+            "p99": p["p99"],
+            "max": p["max"],
+        },
+        "mean_lookup_hops": result.mean_lookup_hops,
+        "probe_overhead": result.probe_overhead,
+        # Additive: the discovery fast-path split recorded alongside the
+        # wall numbers.
+        "discovery_cache": {
+            "routed": result.n_routed_discoveries,
+            "cached": result.n_cached_discoveries,
+            "hit_rate": (
+                result.n_cached_discoveries
+                / (result.n_routed_discoveries
+                   + result.n_cached_discoveries)
+                if result.n_routed_discoveries
+                + result.n_cached_discoveries
+                else 0.0
+            ),
+        },
+        "n_admitted": result.n_admitted,
+        # Additive: the QCS kernel's share of the run, from the
+        # wall-span mirror -- the BENCH_3 speedup evidence compares
+        # this block across composition kernels.
+        "compose_kernel": {
+            "kernel": config.grid.composition_kernel,
+            "compositions": len(compose_spans),
+            "wall_seconds": compose_wall,
+            "per_sec": (
+                len(compose_spans) / compose_wall
+                if compose_wall > 0
+                else 0.0
+            ),
+        },
+    }
+
+
+def _record_scale(
+    description: str,
+    n_peers: int,
+    rate_per_min: float,
+    horizon: float,
+    seed: int,
+    algorithm: str,
+) -> Dict:
+    """Record one explicit-population scenario, with memory telemetry.
+
+    Unlike the default scenarios (which follow the process-wide
+    ``REPRO_PAPER_SCALE``), the scale scenarios pin ``n_peers``
+    explicitly -- ``scale-1x`` is the paper's 10^4 population end to
+    end, ``scale-10x`` a 10^5-peer capacity probe.  Both keep the
+    paper's ``M/N = 1 %`` probe-budget fraction and record the process
+    peak RSS plus the struct-of-arrays store footprint so memory
+    regressions surface next to the wall numbers.
+    """
+    import resource
+
+    from repro.telemetry.profiling import Profiler
+    from repro.experiments.runner import run_experiment
+
+    config = ExperimentConfig(
+        grid=GridConfig(
+            n_peers=n_peers,
+            probing=ProbingConfig(budget=max(10, int(round(0.01 * n_peers)))),
+            seed=seed,
+            telemetry=True,
+        ),
+        workload=WorkloadConfig(
+            rate_per_min=rate_per_min, horizon=horizon,
+            duration_range=(1.0, 8.0),
+        ),
+        drain_minutes=10.0,
+    ).with_algorithm(algorithm)
+    profiler = Profiler()
+    result = run_experiment(config, profiler=profiler)
+    report = profiler.report(
+        wall_seconds=result.wall_seconds, n_requests=result.n_requests
+    )
+    record = _scenario_record(description, config, result, report)
+    # ru_maxrss is KiB on Linux; the high-water mark covers this run and
+    # anything recorded before it in the same process, which is exactly
+    # the "does the full record fit in memory" question the guard asks.
+    record["peak_rss_bytes"] = (
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    )
+    grid = profiler.grid
+    store = getattr(grid.directory, "store", None) if grid is not None else None
+    if store is not None:
+        record["store_memory_bytes"] = store.memory_bytes()
+    return record
+
 
 def record_bench(
     scenario_names: Optional[Sequence[str]] = None,
@@ -214,63 +350,8 @@ def record_bench(
         assert scenario.make is not None  # __post_init__ invariant
         config = scenario.make(seed).with_algorithm(algorithm)
         result, report = profile_run(config)
-        p = report.latency_percentiles()
-        compose_spans = [
-            r for r in report.wall_spans if r.name == "qcs.compose"
-        ]
-        compose_wall = sum(r.end - r.start for r in compose_spans)
-        scenarios[name] = {
-            "description": scenario.description,
-            "n_peers": config.grid.n_peers,
-            "rate_per_min": config.workload.rate_per_min,
-            "horizon": config.workload.horizon,
-            "churn_per_min": (
-                config.grid.churn.rate_per_min if config.grid.churn else 0.0
-            ),
-            "n_requests": result.n_requests,
-            "psi": result.success_ratio,
-            "wall_seconds": result.wall_seconds,
-            "throughput": dict(report.throughput),
-            "setup_latency_us": {
-                "count": int(p["count"]),
-                "mean": p["mean"],
-                "p50": p["p50"],
-                "p95": p["p95"],
-                "p99": p["p99"],
-                "max": p["max"],
-            },
-            "mean_lookup_hops": result.mean_lookup_hops,
-            "probe_overhead": result.probe_overhead,
-            # Additive (validate_bench checks required fields only, so
-            # older documents without it stay valid): the discovery
-            # fast-path split recorded alongside the wall numbers.
-            "discovery_cache": {
-                "routed": result.n_routed_discoveries,
-                "cached": result.n_cached_discoveries,
-                "hit_rate": (
-                    result.n_cached_discoveries
-                    / (result.n_routed_discoveries
-                       + result.n_cached_discoveries)
-                    if result.n_routed_discoveries
-                    + result.n_cached_discoveries
-                    else 0.0
-                ),
-            },
-            "n_admitted": result.n_admitted,
-            # Additive: the QCS kernel's share of the run, from the
-            # wall-span mirror -- the BENCH_3 speedup evidence compares
-            # this block across composition kernels.
-            "compose_kernel": {
-                "kernel": config.grid.composition_kernel,
-                "compositions": len(compose_spans),
-                "wall_seconds": compose_wall,
-                "per_sec": (
-                    len(compose_spans) / compose_wall
-                    if compose_wall > 0
-                    else 0.0
-                ),
-            },
-        }
+        scenarios[name] = _scenario_record(scenario.description, config,
+                                           result, report)
     doc = {
         "schema": BENCH_SCHEMA,
         "recorded_unix": time.time(),

@@ -95,6 +95,7 @@ def record_serving(
         scenario = {
             "description": SERVING_DESCRIPTION,
             "n_peers": grid_config.n_peers,
+            "scale_factor": grid_config.n_peers / 10_000.0,
             "rate_per_min": report.requests_per_sec * 60.0,
             "horizon": sim_minutes,
             "churn_per_min": 0.0,

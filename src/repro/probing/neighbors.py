@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+import numpy as np
+
 __all__ = ["NeighborEntry", "NeighborTable"]
 
 
@@ -43,9 +45,28 @@ class NeighborTable:
             raise ValueError("budget must be non-negative")
         self.budget = budget
         self._entries: Dict[int, NeighborEntry] = {}
+        self._pid_cache: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def pid_array(self) -> np.ndarray:
+        """Member ids as an int64 array, for vectorized membership tests.
+
+        Rebuilt lazily after inserts (:meth:`resolve`); *deletions* do
+        not invalidate it, so it may be a stale **superset** of the live
+        keys -- callers prefiltering candidates with it must still treat
+        a ``_entries`` miss as unknown.  (A superset can only add probe
+        positions whose dict lookup then fails exactly like the
+        unfiltered loop; a subset would silently hide members, so every
+        insert path invalidates.)
+        """
+        cache = self._pid_cache
+        if cache is None:
+            cache = self._pid_cache = np.fromiter(
+                self._entries, np.int64, len(self._entries)
+            )
+        return cache
 
     def __contains__(self, peer_id: int) -> bool:
         return peer_id in self._entries
@@ -77,6 +98,7 @@ class NeighborTable:
         of entries *newly added* (refreshes are free under the budget).
         """
         expires = now + ttl
+        self._pid_cache = None  # inserts below may add members
         entries = self._entries
         # Pending inserts are staged (pid -> [priority, hop, direct]) so
         # entries doomed by the budget are never constructed: the staged

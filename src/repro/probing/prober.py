@@ -129,6 +129,13 @@ class ProbingService:
         self.injector = injector
         self._tables: Dict[int, NeighborTable] = {}
         self._snapshots: Dict[int, _Snapshot] = {}
+        #: Struct-of-arrays backing (``None`` on the object directory).
+        #: With a store AND no injector, epoch snapshots live in the
+        #: store's ``snap_*`` arrays (refreshed per neighbor block)
+        #: instead of per-peer ``_Snapshot`` objects; fault injection
+        #: keeps the dict plane, whose ghost/degrade semantics are
+        #: per-object by nature.
+        self._store = getattr(directory, "store", None)
         self.probe_messages = 0
         self.resolution_messages = 0
 
@@ -156,11 +163,37 @@ class ProbingService:
             m.gauge("probe.tables").set(len(self._tables))
         return added
 
+    def selection_plan(
+        self, hop_candidates: Sequence[Sequence[int]]
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Pre-flatten a selection walk's candidate lists, once.
+
+        ``_select_walk`` calls :meth:`resolve_selection_hops` with the
+        suffix ``hop_candidates[i:]`` at every hop; flattening the full
+        list once and slicing ``(flat[off[i]:], hops[off[i]:] - i)`` per
+        suffix spares the per-hop re-flatten.  Returns ``(flat, hops,
+        offsets)`` or ``None`` when the fast path is off (the scalar
+        path never uses a plan).
+        """
+        if not self.fast_paths:
+            return None
+        lens = [len(c) for c in hop_candidates]
+        total = sum(lens)
+        flat = np.fromiter(
+            (pid for cands in hop_candidates for pid in cands),
+            np.int64, total,
+        )
+        hops = np.repeat(np.arange(1, len(lens) + 1), lens)
+        offsets = np.zeros(len(lens) + 1, dtype=np.int64)
+        np.cumsum(lens, out=offsets[1:])
+        return flat, hops, offsets
+
     def resolve_selection_hops(
         self,
         observer: int,
         hop_candidates: Sequence[Sequence[int]],
         direct: bool,
+        plan: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> None:
         """Resolve the candidate providers of the next hops at ``observer``.
 
@@ -190,48 +223,76 @@ class ProbingService:
         #   matter what the table holds, so it can never survive, and
         #   dropping it cannot change which other entries do.
         # Only the notification-message count differs from the plain path.
+        #
+        # Vectorized: the candidate flood is a numpy array; membership in
+        # the (budget-bounded, so tiny) table is one ``isin`` against its
+        # cached pid array, and the staged merge exploits that priority
+        # ``2 * hop + bias`` grows monotonically with position -- the
+        # first occurrence of a pid is always its best, so the scalar
+        # "update on strictly lower priority" branch can never fire.
+        if plan is not None:
+            flat, hops_arr = plan
+            if not len(flat):
+                return
+        else:
+            lens = [len(c) for c in hop_candidates]
+            total = sum(lens)
+            if total == 0:
+                return
+            flat = np.fromiter(
+                (pid for cands in hop_candidates for pid in cands),
+                np.int64, total,
+            )
+            hops_arr = np.repeat(np.arange(1, len(lens) + 1), lens)
+        keep = flat != observer
+        if not keep.all():
+            flat = flat[keep]
+            hops_arr = hops_arr[keep]
+            if not len(flat):
+                return
         tbl = self._tables.get(observer)
         entries = tbl._entries if tbl is not None else None
         fresh_after = self.sim.now + self.config.ttl
         bias = 0 if direct else 1
-        triples = []
-        staged: Dict[int, list] = {}
-        idx = 0
-        for i, cands in enumerate(hop_candidates):
-            hop = i + 1
-            priority = 2 * hop + bias
-            for pid in cands:
-                if pid == observer:
-                    continue
-                if entries is not None:
-                    entry = entries.get(pid)
-                    if entry is not None:
-                        if not (
-                            entry.expires_at >= fresh_after
-                            and 2 * entry.hop + (0 if entry.direct else 1)
-                            <= priority
-                        ):
-                            triples.append((pid, hop, direct))
-                        continue
-                pending = staged.get(pid)
-                if pending is None:
-                    staged[pid] = [priority, idx, hop]
-                    idx += 1
-                elif priority < pending[0]:
-                    pending[0], pending[2] = priority, hop
-        budget = self.config.budget
-        if len(staged) > budget:
-            # Keep the eviction's best ``budget`` newcomers: lowest
-            # priority, latest position on ties (same-call entries share
-            # an expiry, so later insertion wins the stable tie-break).
-            ranked = [(p[0], -p[1], pid, p[2]) for pid, p in staged.items()]
-            ranked.sort()
-            kept = ranked[:budget]
-            kept.sort(key=lambda t: -t[1])  # original arrival order
-            triples.extend((pid, hop, direct) for _, _, pid, hop in kept)
-        else:
+        triples: List[Tuple[int, int, bool]] = []
+        staged_mask = np.ones(len(flat), dtype=bool)
+        if entries:
+            # Broadcast equality beats np.isin's sort path at table sizes
+            # bounded by the probe budget (tens of entries).
+            member = (flat[:, None] == tbl.pid_array()).any(axis=1)
+            for i in np.flatnonzero(member):
+                pid = int(flat[i])
+                entry = entries.get(pid)
+                if entry is None:
+                    continue  # stale superset hit: really unknown
+                staged_mask[i] = False
+                hop = int(hops_arr[i])
+                if not (
+                    entry.expires_at >= fresh_after
+                    and 2 * entry.hop + (0 if entry.direct else 1)
+                    <= 2 * hop + bias
+                ):
+                    triples.append((pid, hop, direct))
+        s_pids = flat[staged_mask]
+        if len(s_pids):
+            s_hops = hops_arr[staged_mask]
+            _, first_idx = np.unique(s_pids, return_index=True)
+            first_idx.sort()  # first occurrence per pid, arrival order
+            u_pids = s_pids[first_idx]
+            u_hops = s_hops[first_idx]
+            budget = self.config.budget
+            if len(u_pids) > budget:
+                # Keep the eviction's best ``budget`` newcomers: lowest
+                # priority, latest position on ties (same-call entries
+                # share an expiry, so later insertion wins the stable
+                # tie-break) -- then back to arrival order.
+                arrival = np.arange(len(u_pids))
+                sel = np.lexsort((-arrival, 2 * u_hops + bias))[:budget]
+                sel.sort()
+                u_pids = u_pids[sel]
+                u_hops = u_hops[sel]
             triples.extend(
-                (pid, p[2], direct) for pid, p in staged.items()
+                (int(p), int(h), direct) for p, h in zip(u_pids, u_hops)
             )
         if triples:
             self.resolve(observer, triples)
@@ -315,6 +376,30 @@ class ProbingService:
                 target=target,
             )
 
+    def _row_snapshot(self, target: int, epoch: int) -> int:
+        """Array-plane :meth:`_snapshot`: refresh ``target``'s store row.
+
+        Returns the store row (refreshed to ``epoch`` if stale, with the
+        same probe accounting and ``probe.refresh`` event the dict plane
+        records) or ``-1`` when the peer is departed.  Only called with
+        no injector attached, so a refresh never fails.
+        """
+        row = self.directory.row_of(target)
+        if row < 0:
+            return -1
+        store = self._store
+        if store.snap_epoch[row] != epoch:
+            self._record_probe()
+            store.snap_avail[row] = store.available[row]
+            store.snap_up[row] = store.avail_up[row]
+            uptime = self.sim.now - store.joined_at[row]
+            store.snap_uptime[row] = uptime if uptime > 0.0 else 0.0
+            store.snap_epoch[row] = epoch
+            tel = self.telemetry
+            if tel is not None:
+                tel.bus.emit("probe.refresh", target=target, epoch=epoch)
+        return row
+
     def observe(self, observer: int, target: int) -> Optional[PeerInfo]:
         """The observer's (stale, bounded) view of target; None if unknown."""
         tbl = self._tables.get(observer)
@@ -323,6 +408,8 @@ class ProbingService:
         entry = tbl.get(target, self.sim.now)
         if entry is None:
             return None
+        if self._store is not None and self.injector is None:
+            return self._observe_row(observer, target, tbl)
         inj = self.injector
         if inj is not None and inj.partitioned(observer, target):
             # The probe cannot cross the cut; the entry stays (soft
@@ -362,6 +449,148 @@ class ProbingService:
             latency=self.network.latency_ms(target, observer),
         )
 
+    def _observe_row(self, observer: int, target: int, tbl) -> Optional[PeerInfo]:
+        """Array-plane :meth:`observe` body (store present, no injector)."""
+        epoch = int(self.sim.now / self.config.period)
+        row = self._row_snapshot(target, epoch)
+        if row < 0:
+            tbl.drop(target)  # probe discovered the departure
+            self._snapshots.pop(target, None)
+            return None
+        store = self._store
+        orow = self.directory.row_of(observer)
+        observer_down = (
+            store.avail_down[orow] if orow >= 0 else float("inf")
+        )
+        capacity, latency = self.network.pair_static(target, observer)
+        beta = capacity - self.network.pair_reserved(target, observer)
+        if store.snap_up[row] < beta:
+            beta = store.snap_up[row]
+        if observer_down < beta:
+            beta = observer_down
+        if beta < 0.0:
+            beta = 0.0
+        availability = ResourceVector.__new__(ResourceVector)
+        availability.names = self.directory.resource_names
+        availability.values = store.snap_avail[row]
+        return PeerInfo(
+            peer_id=target,
+            availability=availability,
+            bandwidth_to_observer=beta,
+            uptime=store.snap_uptime[row],
+            latency=latency,
+        )
+
+    def observe_block(
+        self, observer: int, targets: Sequence[int]
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Array view of :meth:`observe_many` for SoA directories.
+
+        Returns ``(known, avail, betas, uptimes, latencies)`` where
+        ``known`` is a bool mask over ``targets`` and the other arrays
+        align with ``known``'s True positions (candidate order):
+        ``avail`` is the ``(k, m)`` snapshot availability block, the rest
+        are ``(k,)``.  Values are bitwise-identical to what the
+        per-target :meth:`observe` chain produces -- batch refresh copies
+        the same rows, and the β clamp chain uses the same elementwise
+        minima.  ``None`` when the array plane is unavailable (object
+        directory or fault injection); callers fall back to
+        :meth:`observe_many`.
+        """
+        if self._store is None or self.injector is not None:
+            return None
+        store = self._store
+        n = len(targets)
+        known = np.zeros(n, dtype=bool)
+        tbl = self._tables.get(observer)
+        m = len(self.directory.resource_names)
+        if tbl is None:
+            empty = np.empty(0, dtype=np.float64)
+            return known, np.empty((0, m)), empty, empty, empty
+        now = self.sim.now
+        entries = tbl._entries
+        epoch = int(now / self.config.period)
+        row_of = self.directory.row_of
+        snap_epoch = store.snap_epoch
+        pair_static = self.network.pair_static
+        pair_reserved = self.network.pair_reserved
+        rows: List[int] = []
+        caps: List[float] = []
+        lats: List[float] = []
+        resv: List[float] = []
+        stale: List[int] = []  # positions in `targets` needing a refresh
+        stale_rows: set = set()
+        # Budget-bounded tables are tiny next to the candidate flood, so
+        # membership is one vectorized isin against the cached pid array
+        # (a stale superset only adds positions whose dict probe fails,
+        # exactly like the unfiltered scalar loop).
+        if not entries:
+            empty = np.empty(0, dtype=np.float64)
+            return known, np.empty((0, m)), empty, empty, empty
+        t_arr = np.fromiter(targets, np.int64, n)
+        member = (t_arr[:, None] == tbl.pid_array()).any(axis=1)
+        for i in np.flatnonzero(member):
+            target = targets[i]
+            entry = entries.get(target)
+            if entry is None:
+                continue
+            if entry.expires_at < now:
+                del entries[target]
+                continue
+            row = row_of(target)
+            if row < 0:
+                del entries[target]  # probe discovered the departure
+                self._snapshots.pop(target, None)
+                continue
+            if snap_epoch[row] != epoch and row not in stale_rows:
+                stale_rows.add(row)
+                stale.append(i)
+            known[i] = True
+            rows.append(row)
+            capacity, latency = pair_static(target, observer)
+            caps.append(capacity)
+            lats.append(latency)
+            resv.append(pair_reserved(target, observer))
+        k = len(rows)
+        if k == 0:
+            empty = np.empty(0, dtype=np.float64)
+            return known, np.empty((0, m)), empty, empty, empty
+        if stale:
+            # Batch soft-state refresh of the stale rows: same values
+            # (and the same per-target probe.refresh events, in candidate
+            # order) as the scalar per-target refresh.
+            srows = np.fromiter(
+                (row_of(targets[i]) for i in stale), np.int64, len(stale)
+            )
+            store.snap_avail[srows] = store.available[srows]
+            store.snap_up[srows] = store.avail_up[srows]
+            uptimes = now - store.joined_at[srows]
+            np.maximum(uptimes, 0.0, out=uptimes)
+            store.snap_uptime[srows] = uptimes
+            store.snap_epoch[srows] = epoch
+            self.probe_messages += len(stale)
+            tel = self.telemetry
+            if tel is not None:
+                tel.metrics.counter("probe.messages_sent").inc(len(stale))
+                bus = tel.bus
+                for i in stale:
+                    bus.emit("probe.refresh", target=targets[i], epoch=epoch)
+        krows = np.fromiter(rows, np.int64, k)
+        betas = np.fromiter(caps, np.float64, k)
+        betas -= np.fromiter(resv, np.float64, k)
+        np.minimum(betas, store.snap_up[krows], out=betas)
+        orow = row_of(observer)
+        if orow >= 0:
+            np.minimum(betas, store.avail_down[orow], out=betas)
+        np.maximum(betas, 0.0, out=betas)
+        return (
+            known,
+            store.snap_avail[krows],
+            betas,
+            store.snap_uptime[krows],
+            np.fromiter(lats, np.float64, k),
+        )
+
     def observe_many(
         self, observer: int, targets: Sequence[int]
     ) -> List[Optional[PeerInfo]]:
@@ -376,6 +605,31 @@ class ProbingService:
         """
         if self.injector is not None:
             return [self.observe(observer, t) for t in targets]
+        if self._store is not None:
+            # SoA plane: one observe_block call, re-materialized as
+            # PeerInfo objects so the public contract is unchanged.
+            known, avail, betas, uptimes, lats = self.observe_block(
+                observer, targets
+            )
+            resource_names = self.directory.resource_names
+            out: List[Optional[PeerInfo]] = []
+            j = 0
+            for i, target in enumerate(targets):
+                if not known[i]:
+                    out.append(None)
+                    continue
+                availability = ResourceVector.__new__(ResourceVector)
+                availability.names = resource_names
+                availability.values = avail[j]
+                out.append(PeerInfo(
+                    peer_id=target,
+                    availability=availability,
+                    bandwidth_to_observer=betas[j],
+                    uptime=uptimes[j],
+                    latency=lats[j],
+                ))
+                j += 1
+            return out
         tbl = self._tables.get(observer)
         if tbl is None:
             return [None] * len(targets)

@@ -179,6 +179,13 @@ def generate_catalog(
     replicas: Dict[str, Set[int]] = {}
     ilo, ihi = config.instances_per_service
     rlo, rhi = config.replicas_per_instance
+    # Scalar-draw spellings of rng.choice that consume the identical
+    # bit-generator state (choice(p=) is cumsum+searchsorted over one
+    # random(); choice without p is one integers()) but skip choice's
+    # per-call validation -- catalog generation makes thousands of draws.
+    quality_cdf = np.cumsum(config.quality_weights)
+    quality_cdf /= quality_cdf[-1]
+    max_quality = max(config.quality_levels)
 
     for app in applications:
         for k, service in enumerate(app.services):
@@ -186,15 +193,15 @@ def generate_catalog(
             out_formats = app.interface_formats(k)
             n_inst = int(rng.integers(ilo, ihi + 1))
             for j in range(n_inst):
-                quality = int(
-                    rng.choice(config.quality_levels, p=config.quality_weights)
-                )
+                quality = int(config.quality_levels[
+                    quality_cdf.searchsorted(rng.random(), side="right")
+                ])
                 qin = QoSVector(
-                    format=str(rng.choice(in_formats)),
-                    quality=Interval(quality, max(config.quality_levels)),
+                    format=str(in_formats[int(rng.integers(len(in_formats)))]),
+                    quality=Interval(quality, max_quality),
                 )
                 qout = QoSVector(
-                    format=str(rng.choice(out_formats)),
+                    format=str(out_formats[int(rng.integers(len(out_formats)))]),
                     quality=quality,
                 )
                 iid = f"{service}/{j}"
@@ -208,6 +215,6 @@ def generate_catalog(
                 )
                 n_rep = min(int(rng.integers(rlo, rhi + 1)), len(peer_ids))
                 chosen = rng.choice(len(peer_ids), size=n_rep, replace=False)
-                replicas[iid] = {peer_ids[int(c)] for c in chosen}
+                replicas[iid] = {peer_ids[c] for c in chosen.tolist()}
 
     return ServiceCatalog(applications, instances, replicas)

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.resources import ResourceVector
 from repro.network.peer import PeerDirectory
 from repro.network.topology import NetworkModel
@@ -98,7 +100,8 @@ def reserve_session(
             f"{len(instances)} instances but {len(peers)} peers selected"
         )
     if injector is None:
-        _reserve_attempt(directory, network, instances, peers, user_peer)
+        if not _soa_reserve(directory, network, instances, peers, user_peer):
+            _reserve_attempt(directory, network, instances, peers, user_peer)
         return
     attempts = 0
     while True:
@@ -118,6 +121,62 @@ def reserve_session(
                 "admission", attempts, retry.delay(attempts, injector.rng),
                 user_peer=user_peer,
             )
+
+
+def _soa_reserve(
+    directory,
+    network: NetworkModel,
+    instances: Sequence[ServiceInstance],
+    peers: Sequence[int],
+    user_peer: int,
+) -> bool:
+    """Vectorized resource stage over a struct-of-arrays directory.
+
+    Returns ``True`` when the whole reservation was handled here.
+    Returns ``False`` -- with *no state mutated* -- whenever the scalar
+    path must run instead: object-backed directory, duplicate peers
+    (NumPy fancy-index writes do not accumulate), a dead/unknown peer,
+    or a resource shortage.  The last two matter for bit-exactness: the
+    scalar attempt mutates earlier peers and then rolls them back, and
+    ``(a - r) + r`` need not equal ``a`` in floats, so the failure path
+    must replay the exact mutate-then-rollback sequence.  On the success
+    path an elementwise fancy-index subtract over *distinct* rows is
+    bitwise-identical to the sequential per-peer subtracts.
+    """
+    store = getattr(directory, "store", None)
+    if store is None or not peers:
+        return False
+    row_of = directory.row_of
+    rows: List[int] = []
+    for pid in peers:
+        row = row_of(pid)
+        if row < 0:
+            return False  # dead/unknown: scalar replay for exact errors
+        rows.append(row)
+    if len(set(rows)) != len(rows):
+        return False  # duplicate peers need sequential accounting
+    rows_arr = np.fromiter(rows, np.int64, len(rows))
+    reqs = np.stack([inst.resources.values for inst in instances])
+    avail = store.available[rows_arr]
+    if not (avail >= reqs).all():
+        return False  # shortage: scalar replay of mutate-then-rollback
+    store.available[rows_arr] = avail - reqs
+    held_bw: List[Tuple[int, int, float]] = []
+    for src, dst, bw in _edges(peers, user_peer, instances):
+        if network.reserve(src, dst, bw):
+            held_bw.append((src, dst, bw))
+            continue
+        # Bandwidth shortage: credit the vector debit back (elementwise
+        # adds over the same distinct rows -- the bits the scalar
+        # release sequence produces) and release the held edges.
+        store.available[rows_arr] += reqs
+        for s, d, b in held_bw:
+            network.release(s, d, b)
+        raise AdmissionError(
+            f"no {bw:.0f} bps available on {src} -> {dst}",
+            stage="bandwidth",
+        )
+    return True
 
 
 def _reserve_attempt(
@@ -182,6 +241,23 @@ def rollback_session(
     when that peer departed (its ledger died with it; releasing onto the
     corpse would be harmless but misleading in stats).
     """
+    store = getattr(directory, "store", None)
+    if store is not None and skip_peer is None and held_res:
+        # SoA credit: one fancy-index add over distinct live rows is
+        # bitwise-identical to the sequential per-peer releases.  Any
+        # corpse (row -1), duplicate peer, or over-release (the scalar
+        # guard would raise peer-by-peer) falls through to the exact
+        # scalar sequence.
+        rows = [directory.row_of(pid) for pid, _ in held_res]
+        if min(rows) >= 0 and len(set(rows)) == len(rows):
+            rows_arr = np.fromiter(rows, np.int64, len(rows))
+            reqs = np.stack([req.values for _, req in held_res])
+            new = store.available[rows_arr] + reqs
+            if not (new > store.capacity[rows_arr] + 1e-9).any():
+                store.available[rows_arr] = new
+                for src, dst, bw in held_bw:
+                    network.release(src, dst, bw)
+                return
     for pid, req in held_res:
         if pid == skip_peer:
             continue

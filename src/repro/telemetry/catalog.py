@@ -125,6 +125,8 @@ METRIC_CATALOG: Dict[str, tuple] = {
     "cache.qcs_plan.misses": ("counter", "vectorized-QCS composition plans sliced fresh"),
     "discovery.routed": ("counter", "discoveries that paid a routed walk"),
     "discovery.cached": ("counter", "discoveries served from cache/dedupe"),
+    "store.generation": ("gauge", "SoA peer-store membership generation"),
+    "store.rows_recycled": ("gauge", "SoA peer-store rows reused after departures"),
     "session.admitted": ("counter", "sessions admitted"),
     "session.completed": ("counter", "sessions completed"),
     "session.failed": ("counter", "sessions failed"),

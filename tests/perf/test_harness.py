@@ -205,3 +205,33 @@ class TestRecording:
         assert a["scenarios"]["smoke"]["psi"] == b["scenarios"]["smoke"]["psi"]
         assert (a["scenarios"]["smoke"]["n_requests"]
                 == b["scenarios"]["smoke"]["n_requests"])
+
+
+class TestCommittedBench5:
+    """BENCH_5.json is the first document with the scale scenarios;
+    pin its shape so the scaling curve stays recorded per-PR."""
+
+    @pytest.fixture(scope="class")
+    def doc(self):
+        import os
+
+        path = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "BENCH_5.json")
+        if not os.path.exists(path):
+            pytest.skip("BENCH_5.json not recorded yet")
+        return load_bench(path)
+
+    def test_scale_scenarios_present(self, doc):
+        for name, n_peers in (("scale-1x", 10_000), ("scale-10x", 100_000)):
+            sc = doc["scenarios"][name]
+            assert sc["n_peers"] == n_peers
+            assert sc["scale_factor"] == n_peers / 10_000.0
+            assert sc["n_requests"] > 0
+            assert 0.5 <= sc["psi"] <= 1.0
+            # The memory-footprint evidence: peak RSS recorded, and the
+            # SoA store's array footprint is megabytes even at 10^5 rows.
+            assert sc["peak_rss_bytes"] > 0
+            assert 0 < sc["store_memory_bytes"] < 64e6
+
+    def test_every_scenario_carries_scale_factor(self, doc):
+        assert all("scale_factor" in sc for sc in doc["scenarios"].values())

@@ -1,0 +1,133 @@
+"""Differential proof for the struct-of-arrays peer-state core.
+
+``GridConfig.peer_state_backend`` selects between the object directory
+(one ``Peer`` per row) and the SoA directory (contiguous numpy arrays
+behind row-view facades).  The backend is a *representation* choice: for
+any seed, any churn rate and any fault plan, every simulated observable
+-- ψ, admissions, lookup hops, and the full telemetry event stream --
+must be byte-identical across backends.  Only wall-clock may differ.
+
+The telemetry JSONL export is the strongest single check (it serializes
+every event in emission order), so byte-equality of the exports implies
+identical per-request outcomes and identical event interleaving.
+
+Three fixed regime pairs (baseline / churn / faulted) anchor the suite;
+a Hypothesis sweep then draws random small-grid configurations --
+population, budget, churn, fault plans -- and re-proves equivalence on
+each.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.grid import GridConfig
+from repro.network.churn import ChurnConfig
+from repro.probing.prober import ProbingConfig
+from repro.workload.generator import WorkloadConfig
+
+FAULTED_PLAN = FaultPlan((
+    FaultSpec(kind="probe_loss", rate=0.3),
+    FaultSpec(kind="lookup_failure", rate=0.15),
+    FaultSpec(kind="admission_failure", rate=0.1),
+    FaultSpec(kind="stale_state", rate=0.5, staleness=2.0),
+    FaultSpec(kind="partition", start=2.0, end=4.0, fraction=0.3),
+), name="soa-differential")
+
+
+def _config(
+    backend,
+    seed=3,
+    n_peers=250,
+    budget=10,
+    churn_rate=0.0,
+    faults=None,
+    rate_per_min=30.0,
+    horizon=10.0,
+    export=None,
+):
+    return ExperimentConfig(
+        grid=GridConfig(
+            n_peers=n_peers,
+            probing=ProbingConfig(budget=budget),
+            churn=(ChurnConfig(rate_per_min=churn_rate)
+                   if churn_rate > 0 else None),
+            faults=faults,
+            seed=seed,
+            peer_state_backend=backend,
+            telemetry=True,
+        ),
+        workload=WorkloadConfig(
+            rate_per_min=rate_per_min, horizon=horizon,
+            duration_range=(1.0, 8.0),
+        ),
+        drain_minutes=10.0,
+        telemetry_export=export,
+    )
+
+
+def _run_pair(tmp_path, tag="", **kwargs):
+    exports = {}
+    results = {}
+    for backend in ("soa", "object"):
+        path = tmp_path / f"{backend}{tag}.jsonl"
+        results[backend] = run_experiment(
+            _config(backend, export=str(path), **kwargs)
+        )
+        exports[backend] = path.read_bytes()
+    return results, exports
+
+
+def _assert_equivalent(results, exports):
+    soa, obj = results["soa"], results["object"]
+    assert exports["soa"] == exports["object"]
+    assert soa.n_requests == obj.n_requests
+    assert soa.success_ratio == obj.success_ratio
+    assert soa.mean_lookup_hops == obj.mean_lookup_hops
+    assert soa.n_admitted == obj.n_admitted
+    assert soa.probe_overhead == obj.probe_overhead
+    assert soa.metrics.breakdown() == obj.metrics.breakdown()
+
+
+@pytest.mark.slow
+class TestRegimePairs:
+    def test_baseline(self, tmp_path):
+        _assert_equivalent(*_run_pair(tmp_path))
+
+    def test_churn(self, tmp_path):
+        _assert_equivalent(*_run_pair(tmp_path, churn_rate=5.0))
+
+    def test_faulted(self, tmp_path):
+        # Fault injection keeps the prober's per-object snapshot plane
+        # (ghost/degrade state is per-peer by nature), so this pair
+        # proves the SoA directory composes with the injector too.
+        _assert_equivalent(*_run_pair(tmp_path, faults=FAULTED_PLAN))
+
+
+@pytest.mark.slow
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    n_peers=st.integers(min_value=60, max_value=160),
+    budget=st.integers(min_value=4, max_value=20),
+    churn_rate=st.sampled_from([0.0, 0.0, 3.0, 8.0]),
+    faulted=st.booleans(),
+)
+def test_soa_differential_random_grids(
+    tmp_path_factory, seed, n_peers, budget, churn_rate, faulted
+):
+    tmp_path = tmp_path_factory.mktemp("soa_diff")
+    results, exports = _run_pair(
+        tmp_path,
+        tag=f"-{seed}",
+        seed=seed,
+        n_peers=n_peers,
+        budget=budget,
+        churn_rate=churn_rate,
+        faults=FAULTED_PLAN if faulted else None,
+        rate_per_min=25.0,
+        horizon=6.0,
+    )
+    _assert_equivalent(results, exports)
