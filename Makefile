@@ -4,7 +4,8 @@ PYTHON ?= python
 
 .PHONY: install test test-full test-log bench bench-log bench-paper \
         figures figures-quick examples coverage clean profile \
-        perf-record perf-check perf-scale lint serve loadgen top soak
+        perf-record perf-check perf-scale lint serve loadgen top soak \
+        sanitize
 
 # Coverage floor enforced by `make coverage` and the CI test job.
 COV_MIN ?= 70
@@ -29,6 +30,7 @@ lint:
 		echo "compiled artifacts tracked in git:"; echo "$$tracked"; exit 1; \
 	fi
 	$(PYTHON) -m repro lint src tests
+	$(PYTHON) -m repro lint --whole-program src tests
 	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
 		$(PYTHON) -m ruff check src tests || exit 1; \
 	else echo "ruff not installed; skipping (CI runs it)"; fi
@@ -88,6 +90,24 @@ top:
 # server; `make soak SOAK_ARGS="--duration 60 --rate 50"`.
 soak:
 	PYTHONPATH=src $(PYTHON) -m repro loadgen --soak $(SOAK_ARGS)
+
+# The runtime determinism contract (docs/static-analysis.md): same-seed
+# and object-vs-soa runs must export byte-identical draw/write ledgers,
+# and arming the sanitizer must cost < 10% wall with telemetry unchanged.
+sanitize:
+	@tmp=$$(mktemp -d /tmp/sanitize.XXXXXX); \
+	trap 'rm -rf $$tmp' EXIT; \
+	set -e; \
+	PYTHONPATH=src $(PYTHON) -m repro run --rate 100 --horizon 10 \
+		--churn 25 --seed 0 --sanitize $$tmp/a.jsonl >/dev/null; \
+	PYTHONPATH=src $(PYTHON) -m repro run --rate 100 --horizon 10 \
+		--churn 25 --seed 0 --sanitize $$tmp/b.jsonl >/dev/null; \
+	PYTHONPATH=src $(PYTHON) -m repro sanitize compare $$tmp/a.jsonl $$tmp/b.jsonl; \
+	PYTHONPATH=src $(PYTHON) -m repro run --rate 100 --horizon 10 \
+		--churn 25 --seed 0 --backend object --sanitize $$tmp/obj.jsonl >/dev/null; \
+	PYTHONPATH=src $(PYTHON) -m repro sanitize compare $$tmp/a.jsonl $$tmp/obj.jsonl; \
+	PYTHONPATH=src $(PYTHON) -m repro sanitize overhead --rate 100 \
+		--horizon 20 --seed 0 --repeat 3
 
 figures:
 	$(PYTHON) examples/paper_figures.py

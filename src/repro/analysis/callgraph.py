@@ -1,0 +1,141 @@
+"""Module-level import/call graph for the whole-program lint pass.
+
+The cross-module rules (:mod:`repro.analysis.rules.shard`) reason about
+*planes*: the subsystem a module belongs to, named by its first path
+component inside the ``repro`` package (``network/churn.py`` lives in
+the ``network`` plane, ``sim/rng.py`` in ``sim``).  Planes are the unit
+the future sharded engine will cut along -- state reachable from two
+planes is state a shard boundary can split.
+
+Each scanned file contributes one :data:`MODULE_FACTS_KEY` payload (its
+dotted module name, plane, and imports of other ``repro`` modules);
+:func:`build_graph` folds those payloads into an :class:`ImportGraph`
+with forward/reverse edges and plane lookups.  The graph is deliberately
+import-level, not def/use-level: for shard-hazard triage the question is
+"can plane B *name* this object at all", and an import edge is the
+syntactic gate for that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+__all__ = [
+    "MODULE_FACTS_KEY",
+    "ModuleFacts",
+    "ImportGraph",
+    "build_graph",
+    "module_name_of_pkg",
+    "plane_of_module",
+]
+
+#: ``ProjectState.contributions`` key under which every scanned file in
+#: the repro package deposits one :class:`ModuleFacts` tuple.
+MODULE_FACTS_KEY = "wp:module-facts"
+
+#: Top-level repro modules that are wiring/entry layers rather than
+#: runtime subsystems.  ``grid.py`` composes every plane by design, so
+#: it gets its own plane name instead of polluting a subsystem's.
+_TOP_LEVEL_PLANES = {
+    "grid": "grid",
+    "cli": "cli",
+    "capabilities": "capabilities",
+    "diagnostics": "diagnostics",
+    "__init__": "top",
+    "__main__": "cli",
+}
+
+
+def module_name_of_pkg(pkg: str) -> Optional[str]:
+    """``"sim/rng.py"`` -> ``"repro.sim.rng"`` (None for non-modules)."""
+    if not pkg.endswith(".py"):
+        return None
+    parts = pkg[:-3].split("/")
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(["repro", *parts]) if parts else "repro"
+
+
+def plane_of_module(module: str) -> Optional[str]:
+    """Dotted repro module -> plane name (None outside the package)."""
+    if module == "repro":
+        return "top"
+    if not module.startswith("repro."):
+        return None
+    head = module.split(".")[1]
+    return _TOP_LEVEL_PLANES.get(head, head)
+
+
+@dataclass(frozen=True)
+class ModuleFacts:
+    """One scanned file's identity and repro-internal imports.
+
+    ``imports`` holds dotted repro *modules* this file imports (from
+    either ``import repro.x`` or ``from repro.x import name`` forms);
+    ``rel`` and ``lineno`` locate the module for findings.
+    """
+
+    module: str
+    plane: str
+    rel: str
+    imports: Tuple[str, ...]
+
+
+@dataclass
+class ImportGraph:
+    """Forward/reverse import edges over the scanned repro modules."""
+
+    #: module -> modules it imports (repro-internal only).
+    imports: Dict[str, Set[str]] = field(default_factory=dict)
+    #: module -> modules that import it.
+    imported_by: Dict[str, Set[str]] = field(default_factory=dict)
+    #: module -> plane.
+    planes: Dict[str, str] = field(default_factory=dict)
+    #: module -> path label used in findings.
+    rels: Dict[str, str] = field(default_factory=dict)
+
+    def plane(self, module: str) -> Optional[str]:
+        return self.planes.get(module) or plane_of_module(module)
+
+    def importer_planes(self, module: str) -> Set[str]:
+        """Planes of every scanned module that imports ``module``."""
+        out: Set[str] = set()
+        for importer in self.imported_by.get(module, ()):
+            plane = self.plane(importer)
+            if plane is not None:
+                out.add(plane)
+        return out
+
+
+def build_graph(payloads: Iterable[ModuleFacts]) -> ImportGraph:
+    """Fold per-file :class:`ModuleFacts` into one :class:`ImportGraph`."""
+    graph = ImportGraph()
+    facts: List[ModuleFacts] = sorted(
+        payloads, key=lambda f: (f.module, f.rel)
+    )
+    for fact in facts:
+        graph.planes[fact.module] = fact.plane
+        graph.rels[fact.module] = fact.rel
+        graph.imports.setdefault(fact.module, set()).update(fact.imports)
+    known = set(graph.planes)
+    for module, targets in graph.imports.items():
+        for target in targets:
+            # Normalise "from repro.x import name" where name is itself a
+            # module-level attribute: keep the longest scanned prefix.
+            resolved = _resolve_module(target, known)
+            if resolved is not None and resolved != module:
+                graph.imported_by.setdefault(resolved, set()).add(module)
+    return graph
+
+
+def _resolve_module(dotted: str, known: Set[str]) -> Optional[str]:
+    """Longest scanned-module prefix of ``dotted`` (None when foreign)."""
+    parts = dotted.split(".")
+    for end in range(len(parts), 0, -1):
+        candidate = ".".join(parts[:end])
+        if candidate in known:
+            return candidate
+    if dotted.startswith("repro"):
+        return dotted
+    return None

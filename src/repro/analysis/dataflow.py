@@ -1,0 +1,521 @@
+"""Per-file dataflow facts for the whole-program determinism pass.
+
+One extraction (:func:`extract_facts`) walks the parsed file once and
+produces everything the cross-module rules consume:
+
+* **Stream uses** -- where seeded-RNG streams (``RngStreams.stream``
+  calls from :mod:`repro.sim.rng`) are *drawn from* or *handed off* to
+  another subsystem.  A handoff is a stream expression (or a local
+  variable bound to one) passed as an argument to a call whose callee
+  resolves through the import table to another ``repro`` module; the
+  use is then attributed to the *receiving* module's plane.  Calls on
+  ``self``/locally-defined helpers stay attributed to the current
+  module.  This is deliberately one-hop and syntactic: it is exact for
+  the repo's wiring style (streams created at composition roots and
+  handed to exactly one subsystem constructor) and it degrades to the
+  conservative "held here" answer otherwise.
+* **Module-level mutable state** -- names bound at module scope to
+  mutable containers or constructed singletons, mutation sites inside
+  function bodies (method mutators, subscript stores, ``global``
+  rebinding), and cross-module references to such names.
+* **Set-typed returns** -- public functions/methods whose return value
+  is statically set-typed (annotation or returned expression), the raw
+  material for TEL002's escape check.
+
+Known approximations (also documented in docs/static-analysis.md):
+streams created on a *call result* (``RngStreams(seed).stream(...)``)
+have no receiver chain and are not tracked; f-string stream names are
+tracked as ``prefix-*`` wildcards and never aliased against concrete
+names; variables are tracked one assignment deep within one function
+scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import (
+    ModuleFacts,
+    module_name_of_pkg,
+    plane_of_module,
+)
+from repro.analysis.engine import FileContext
+
+__all__ = [
+    "STREAM_FACTS_KEY",
+    "STATE_FACTS_KEY",
+    "SET_RETURN_FACTS_KEY",
+    "StreamUse",
+    "StateDef",
+    "StateFacts",
+    "SetReturn",
+    "FileFacts",
+    "extract_facts",
+]
+
+STREAM_FACTS_KEY = "wp:stream-uses"
+STATE_FACTS_KEY = "wp:state-facts"
+SET_RETURN_FACTS_KEY = "wp:set-returns"
+
+#: Receiver-chain components that mark a ``.stream(...)`` call as a
+#: seeded-RNG stream access (vs an unrelated ``stream`` method).
+_RNG_HINTS = ("rng", "rngs", "streams")
+
+#: Mutating container methods; calling one on module-level state from a
+#: function body is a runtime mutation.
+_MUTATORS = frozenset({
+    "append", "appendleft", "add", "update", "pop", "popitem", "clear",
+    "extend", "insert", "remove", "discard", "setdefault", "popleft",
+})
+
+#: Constructor names whose module-level call result is mutable state.
+_MUTABLE_CONSTRUCTORS = frozenset({
+    "dict", "list", "set", "bytearray", "deque", "defaultdict",
+    "Counter", "OrderedDict", "ChainMap",
+})
+
+#: CamelCase module-level constructor calls that are NOT shared mutable
+#: state (typing/dataclass machinery, immutable values).
+_SINGLETON_EXEMPT = frozenset({
+    "TypeVar", "ParamSpec", "TypeVarTuple", "NamedTuple", "NewType",
+    "Path", "Decimal", "Fraction", "Enum", "IntEnum", "Flag",
+})
+
+_SET_ANNOTATIONS = frozenset({"set", "Set", "frozenset", "FrozenSet",
+                              "AbstractSet", "MutableSet", "KeysView"})
+
+
+@dataclass(frozen=True)
+class StreamUse:
+    """One place a named RNG stream is drawn from or handed to."""
+
+    stream: str
+    module: str
+    plane: str
+    rel: str
+    lineno: int
+    via: str  # "draw" | "handoff"
+
+
+@dataclass(frozen=True)
+class StateDef:
+    """One module-level mutable binding."""
+
+    module: str
+    name: str
+    rel: str
+    lineno: int
+    kind: str  # "container" | "singleton"
+
+
+@dataclass(frozen=True)
+class StateFacts:
+    """One file's shared-state picture for SHARD001."""
+
+    defs: Tuple[StateDef, ...]
+    #: (owning module, name) pairs mutated from function bodies here.
+    mutations: Tuple[Tuple[str, str], ...]
+    #: (owning module, name, referrer module) triples: names this module
+    #: binds or reads from other repro modules.
+    refs: Tuple[Tuple[str, str, str], ...]
+
+
+@dataclass(frozen=True)
+class SetReturn:
+    """A public function returning a statically set-typed value."""
+
+    module: str
+    plane: str
+    qualname: str
+    rel: str
+    lineno: int
+
+
+@dataclass(frozen=True)
+class FileFacts:
+    module: str
+    plane: str
+    module_facts: ModuleFacts
+    stream_uses: Tuple[StreamUse, ...]
+    state: StateFacts
+    set_returns: Tuple[SetReturn, ...]
+
+
+# -- extraction ------------------------------------------------------------
+
+def extract_facts(ctx: FileContext) -> Optional[FileFacts]:
+    """Extract (and memoize on ``ctx``) the whole-program facts.
+
+    Returns None for files outside the repro package -- tests and
+    benchmarks carry no shard-boundary obligations.
+    """
+    cached = getattr(ctx, "_wp_facts", None)
+    if cached is not None:
+        return cached  # type: ignore[no-any-return]
+    if ctx.pkg is None or ctx.is_tests or ctx.is_benchmarks:
+        return None
+    module = module_name_of_pkg(ctx.pkg)
+    if module is None:
+        return None
+    plane = plane_of_module(module) or "top"
+
+    parents = _parent_map(ctx.tree)
+    imports = _repro_imports(ctx)
+    mfacts = ModuleFacts(module=module, plane=plane, rel=ctx.rel,
+                         imports=tuple(sorted(imports)))
+    facts = FileFacts(
+        module=module,
+        plane=plane,
+        module_facts=mfacts,
+        stream_uses=tuple(_stream_uses(ctx, module, plane, parents)),
+        state=_state_facts(ctx, module, parents),
+        set_returns=tuple(_set_returns(ctx, module, plane, parents)),
+    )
+    setattr(ctx, "_wp_facts", facts)
+    return facts
+
+
+def contribute_facts(ctx: FileContext) -> Optional[FileFacts]:
+    """Contribute the file's facts to the project state exactly once."""
+    facts = extract_facts(ctx)
+    if facts is None or getattr(ctx, "_wp_contributed", False):
+        return facts
+    setattr(ctx, "_wp_contributed", True)
+    from repro.analysis.callgraph import MODULE_FACTS_KEY
+
+    ctx.contribute(MODULE_FACTS_KEY, facts.module_facts)
+    for use in facts.stream_uses:
+        ctx.contribute(STREAM_FACTS_KEY, use)
+    ctx.contribute(STATE_FACTS_KEY, facts.state)
+    for ret in facts.set_returns:
+        ctx.contribute(SET_RETURN_FACTS_KEY, ret)
+    return facts
+
+
+def _parent_map(tree: ast.Module) -> Dict[ast.AST, ast.AST]:
+    return {
+        child: parent
+        for parent in ast.walk(tree)
+        for child in ast.iter_child_nodes(parent)
+    }
+
+
+def _repro_imports(ctx: FileContext) -> Set[str]:
+    """Dotted repro modules this file imports (either import form)."""
+    out: Set[str] = set()
+    for node in ctx.walk(ast.Import, ast.ImportFrom):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro" or alias.name.startswith("repro."):
+                    out.add(alias.name)
+        else:
+            mod = node.module or ""
+            if mod == "repro" or mod.startswith("repro."):
+                out.add(mod)
+    return out
+
+
+def _scope_of(node: ast.AST,
+              parents: Dict[ast.AST, ast.AST]) -> Optional[ast.AST]:
+    """Nearest enclosing function node (None at module/class level)."""
+    current = parents.get(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return current
+        current = parents.get(current)
+    return None
+
+
+def _in_function(node: ast.AST, parents: Dict[ast.AST, ast.AST]) -> bool:
+    return _scope_of(node, parents) is not None
+
+
+# -- stream tracking -------------------------------------------------------
+
+def _stream_key(call: ast.Call) -> Optional[str]:
+    """The stream name of an ``<rng>.stream(...)`` call, or None."""
+    if not call.args:
+        return None
+    arg = call.args[0]
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value
+    if isinstance(arg, ast.JoinedStr):
+        literal = "".join(
+            part.value for part in arg.values
+            if isinstance(part, ast.Constant) and isinstance(part.value, str)
+        )
+        return f"{literal}*"
+    return None
+
+
+def _is_stream_call(ctx: FileContext, call: ast.Call) -> bool:
+    chain = ctx.call_chain(call)
+    if len(chain) < 2 or chain[-1] != "stream":
+        return False
+    return any(
+        hint in part.lower() for part in chain[:-1] for hint in _RNG_HINTS
+    )
+
+
+def _resolve_callee_module(ctx: FileContext, call: ast.Call,
+                           current: str) -> str:
+    """Module receiving a handoff (conservative: the current module)."""
+    chain = ctx.call_chain(call)
+    if not chain:
+        return current
+    head = chain[0]
+    if head in ("self", "cls"):
+        return current
+    if len(chain) == 1:
+        target = ctx.imported_names.get(head, "")
+        if target.startswith("repro"):
+            return target.rsplit(".", 1)[0]
+        return current
+    mod = ctx.imports.get(head, "")
+    if mod.startswith("repro"):
+        return mod
+    target = ctx.imported_names.get(head, "")
+    if target.startswith("repro"):
+        return target
+    return current
+
+
+def _use(stream: str, module: str, rel: str, lineno: int,
+         via: str) -> StreamUse:
+    return StreamUse(stream=stream, module=module,
+                     plane=plane_of_module(module) or "top",
+                     rel=rel, lineno=lineno, via=via)
+
+
+def _call_args(call: ast.Call) -> Iterator[ast.expr]:
+    yield from call.args
+    for kw in call.keywords:
+        yield kw.value
+
+
+def _stream_uses(ctx: FileContext, module: str, plane: str,
+                 parents: Dict[ast.AST, ast.AST]) -> Iterator[StreamUse]:
+    # (scope, var name) -> stream keys bound to it in that scope.
+    bound: Dict[Tuple[Optional[ast.AST], str], Set[str]] = {}
+    consumed: Set[Tuple[Optional[ast.AST], str]] = set()
+
+    stream_calls: List[Tuple[ast.Call, str]] = []
+    for node in ctx.walk(ast.Call):
+        assert isinstance(node, ast.Call)
+        if _is_stream_call(ctx, node):
+            key = _stream_key(node)
+            if key is not None:
+                stream_calls.append((node, key))
+
+    for call, key in stream_calls:
+        parent = parents.get(call)
+        lineno = call.lineno
+        if isinstance(parent, ast.keyword):
+            parent = parents.get(parent)
+        if isinstance(parent, ast.Call) and call is not parent.func:
+            receiver = _resolve_callee_module(ctx, parent, module)
+            yield _use(key, receiver, ctx.rel, lineno, "handoff")
+        elif isinstance(parent, ast.Assign) and len(parent.targets) == 1 \
+                and isinstance(parent.targets[0], ast.Name):
+            scope = _scope_of(call, parents)
+            bound.setdefault(
+                (scope, parent.targets[0].id), set()
+            ).add(key)
+        else:
+            # Attribute storage, direct method call on the result,
+            # return statements, ... -- the stream is held/drawn here.
+            yield _use(key, module, ctx.rel, lineno, "draw")
+
+    if not bound:
+        return
+    for node in ctx.walk(ast.Call):
+        assert isinstance(node, ast.Call)
+        scope = _scope_of(node, parents)
+        chain = ctx.call_chain(node)
+        if len(chain) >= 2:
+            slot = (scope, chain[0])
+            keys = bound.get(slot)
+            if keys:
+                consumed.add(slot)
+                for key in sorted(keys):
+                    yield _use(key, module, ctx.rel, node.lineno, "draw")
+        for arg in _call_args(node):
+            if isinstance(arg, ast.Name):
+                slot = (scope, arg.id)
+                keys = bound.get(slot)
+                if keys and not _is_stream_call(ctx, node):
+                    consumed.add(slot)
+                    receiver = _resolve_callee_module(ctx, node, module)
+                    for key in sorted(keys):
+                        yield _use(key, receiver, ctx.rel, node.lineno,
+                                   "handoff")
+    # A bound stream that is never drawn or handed off is still held by
+    # this module (e.g. stored for later): attribute it here.
+    for (scope, name), keys in sorted(
+        bound.items(),
+        key=lambda item: (getattr(item[0][0], "lineno", 0), item[0][1]),
+    ):
+        if (scope, name) not in consumed:
+            for key in sorted(keys):
+                yield _use(key, module, ctx.rel,
+                           getattr(scope, "lineno", 1), "draw")
+
+
+# -- module-level mutable state --------------------------------------------
+
+def _mutable_kind(node: ast.expr) -> Optional[str]:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.ListComp,
+                         ast.SetComp, ast.DictComp)):
+        return "container"
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = ""
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in _MUTABLE_CONSTRUCTORS:
+            return "container"
+        if name[:1].isupper() and name not in _SINGLETON_EXEMPT:
+            return "singleton"
+    return None
+
+
+def _state_facts(ctx: FileContext, module: str,
+                 parents: Dict[ast.AST, ast.AST]) -> StateFacts:
+    defs: List[StateDef] = []
+    local_names: Set[str] = set()
+    for stmt in ctx.tree.body:
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            target, value = stmt.target, stmt.value
+        if not isinstance(target, ast.Name) or value is None:
+            continue
+        kind = _mutable_kind(value)
+        if kind is not None:
+            defs.append(StateDef(module=module, name=target.id,
+                                 rel=ctx.rel, lineno=stmt.lineno, kind=kind))
+            local_names.add(target.id)
+
+    mutations: Set[Tuple[str, str]] = set()
+
+    def _owner_of(chain: Tuple[str, ...]) -> Optional[Tuple[str, str]]:
+        """Resolve a receiver chain to (owning module, state name)."""
+        if len(chain) == 1:
+            name = chain[0]
+            if name in local_names:
+                return (module, name)
+            target = ctx.imported_names.get(name, "")
+            if target.startswith("repro") and "." in target:
+                return tuple(target.rsplit(".", 1))  # type: ignore[return-value]
+        elif len(chain) == 2:
+            mod = ctx.imports.get(chain[0], "")
+            if mod.startswith("repro"):
+                return (mod, chain[1])
+        return None
+
+    for node in ctx.walk(ast.Call):
+        assert isinstance(node, ast.Call)
+        chain = ctx.call_chain(node)
+        if len(chain) >= 2 and chain[-1] in _MUTATORS \
+                and _in_function(node, parents):
+            owner = _owner_of(chain[:-1])
+            if owner is not None:
+                mutations.add(owner)
+    for node in ctx.walk(ast.Assign, ast.AugAssign, ast.Delete):
+        if not _in_function(node, parents):
+            continue
+        targets: List[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        else:
+            targets = list(node.targets)
+        for tgt in targets:
+            if isinstance(tgt, ast.Subscript):
+                owner = _owner_of(FileContext.attr_chain(tgt.value))
+                if owner is not None:
+                    mutations.add(owner)
+    for node in ctx.walk(ast.Global):
+        assert isinstance(node, ast.Global)
+        for name in node.names:
+            if name in local_names:
+                mutations.add((module, name))
+
+    refs: Set[Tuple[str, str, str]] = set()
+    for node in ctx.walk(ast.ImportFrom):
+        assert isinstance(node, ast.ImportFrom)
+        mod = node.module or ""
+        if mod == "repro" or mod.startswith("repro."):
+            for alias in node.names:
+                refs.add((mod, alias.name, module))
+    for node in ctx.walk(ast.Attribute):
+        assert isinstance(node, ast.Attribute)
+        chain = FileContext.attr_chain(node)
+        if len(chain) == 2:
+            mod = ctx.imports.get(chain[0], "")
+            if mod.startswith("repro"):
+                refs.add((mod, chain[1], module))
+
+    return StateFacts(defs=tuple(sorted(defs, key=lambda d: d.lineno)),
+                      mutations=tuple(sorted(mutations)),
+                      refs=tuple(sorted(refs)))
+
+
+# -- set-typed returns -----------------------------------------------------
+
+def _is_set_annotation(node: Optional[ast.expr]) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in _SET_ANNOTATIONS
+    if isinstance(node, ast.Subscript):
+        return _is_set_annotation(node.value)
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SET_ANNOTATIONS
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        head = node.value.split("[", 1)[0].strip()
+        return head.split(".")[-1] in _SET_ANNOTATIONS
+    return False
+
+
+def _is_set_expr(node: Optional[ast.expr]) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+    return False
+
+
+def _set_returns(ctx: FileContext, module: str, plane: str,
+                 parents: Dict[ast.AST, ast.AST]) -> Iterator[SetReturn]:
+    for node in ctx.walk(ast.FunctionDef, ast.AsyncFunctionDef):
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if node.name.startswith("_"):
+            continue
+        returns_set = _is_set_annotation(node.returns)
+        if not returns_set:
+            for ret in ast.walk(node):
+                if isinstance(ret, ast.Return) \
+                        and _scope_of(ret, parents) is node \
+                        and _is_set_expr(ret.value):
+                    returns_set = True
+                    break
+        if not returns_set:
+            continue
+        qual = node.name
+        owner = parents.get(node)
+        if isinstance(owner, ast.ClassDef):
+            qual = f"{owner.name}.{node.name}"
+        yield SetReturn(module=module, plane=plane, qualname=qual,
+                        rel=ctx.rel, lineno=node.lineno)

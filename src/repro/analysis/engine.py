@@ -40,6 +40,7 @@ from typing import (
     Iterable,
     Iterator,
     List,
+    NamedTuple,
     Optional,
     Sequence,
     Set,
@@ -55,10 +56,16 @@ __all__ = [
     "iter_python_files",
     "lint_paths",
     "PARSE_RULE_ID",
+    "PRAGMA_RULE_ID",
 ]
 
 #: Rule id attached to files the engine cannot parse.
 PARSE_RULE_ID = "E000"
+
+#: Rule id attached to pragmas that lack a ``-- why`` justification.
+#: Only enforced under ``--whole-program`` (the strict CI lane) so ad-hoc
+#: scratch scans stay quiet.
+PRAGMA_RULE_ID = "E001"
 
 _PRAGMA_RE = re.compile(
     r"#\s*lint:\s*(?P<kind>disable|disable-file)\s*=\s*"
@@ -95,12 +102,15 @@ class FileContext:
     """One parsed file plus the helpers every rule needs."""
 
     def __init__(self, path: Path, rel: str, source: str,
-                 tree: ast.Module) -> None:
+                 tree: ast.Module, whole_program: bool = False) -> None:
         self.path = path
         #: Path as reported in findings (relative to the CWD when under it).
         self.rel = rel
         self.source = source
         self.tree = tree
+        #: True when this scan is a whole-program pass over the package
+        #: (``repro lint --whole-program``); cross-module rules gate on it.
+        self.whole_program = whole_program
         self.lines = source.splitlines()
         parts = path.resolve().parts
         self.parts = parts
@@ -119,12 +129,18 @@ class FileContext:
         #: key -> list payloads merged across files for Rule.finalize.
         self.contributions: Dict[str, List[Any]] = {}
         self._import_maps: Optional[Tuple[Dict[str, str], Dict[str, str]]] = None
+        self._all_nodes: Optional[List[ast.AST]] = None
 
     # -- rule conveniences -------------------------------------------------
     def walk(self, *types: Type[ast.AST]) -> Iterator[ast.AST]:
-        for node in ast.walk(self.tree):
-            if not types or isinstance(node, types):
-                yield node
+        # The node list is materialised once and shared by every rule:
+        # with ~10 rules each walking a file several times, re-walking
+        # the tree dominated scan time on large modules.
+        if self._all_nodes is None:
+            self._all_nodes = list(ast.walk(self.tree))
+        if not types:
+            return iter(self._all_nodes)
+        return (n for n in self._all_nodes if isinstance(n, types))
 
     def finding(self, rule: Any, node: ast.AST, message: str) -> Finding:
         return Finding(
@@ -188,10 +204,15 @@ class FileContext:
 class ProjectState:
     """What ``Rule.finalize`` sees: the merged per-file contributions."""
 
-    def __init__(self) -> None:
+    def __init__(self, whole_program: bool = False) -> None:
         self.contributions: Dict[str, List[Any]] = {}
         #: Every scanned file's ``FileContext.pkg`` (None entries dropped).
         self.scanned_pkgs: Set[str] = set()
+        #: True for ``repro lint --whole-program`` scans.
+        self.whole_program = whole_program
+        #: finding-path -> (per-line, per-file) pragma maps, so findings
+        #: produced by ``Rule.finalize`` honour suppression pragmas too.
+        self.pragmas: Dict[str, Tuple[Dict[int, Set[str]], Set[str]]] = {}
 
     def merge(self, contributions: Dict[str, List[Any]],
               pkg: Optional[str]) -> None:
@@ -200,20 +221,51 @@ class ProjectState:
         if pkg is not None:
             self.scanned_pkgs.add(pkg)
 
+    def suppressed(self, finding: Finding) -> bool:
+        """Whether a finalize-pass finding is pragma-suppressed."""
+        maps = self.pragmas.get(finding.path)
+        if maps is None:
+            return False
+        return _suppressed(finding, maps[0], maps[1])
+
 
 # -- pragmas ---------------------------------------------------------------
 
-def _parse_pragmas(lines: Sequence[str]) -> Tuple[Dict[int, Set[str]], Set[str]]:
-    """``(line -> suppressed rule ids, file-wide suppressed rule ids)``.
+def _comment_lines(source: str, lines: Sequence[str]) -> Iterable[Tuple[int, str]]:
+    """``(lineno, comment text)`` for every real comment token.
 
-    Only comment text is inspected; a pragma inside a string literal on
-    a line with a ``#`` would be caught too, which is acceptable for a
-    linter that errs towards silence only when explicitly asked.
+    Tokenizing keeps pragma *mentions* inside docstrings and string
+    literals (e.g. documentation of the pragma syntax itself) from
+    being treated as pragmas.  On a tokenization error the line-based
+    fallback errs towards recognising pragmas (silence only when asked).
+    """
+    import io
+    import tokenize
+
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for lineno, text in enumerate(lines, start=1):
+            if "#" in text:
+                yield lineno, text[text.index("#"):]
+
+
+def _parse_pragmas(
+    source: str, lines: Sequence[str]
+) -> Tuple[Dict[int, Set[str]], Set[str], List[int]]:
+    """``(line -> suppressed ids, file-wide suppressed ids, unjustified)``.
+
+    ``unjustified`` lists the line numbers of pragmas with no ``-- why``
+    justification text after the rule list (reported as
+    :data:`PRAGMA_RULE_ID` findings under ``--whole-program``).
     """
     per_line: Dict[int, Set[str]] = {}
     per_file: Set[str] = set()
-    for lineno, text in enumerate(lines, start=1):
-        if "#" not in text or "lint:" not in text:
+    unjustified: List[int] = []
+    for lineno, text in _comment_lines(source, lines):
+        if "lint:" not in text:
             continue
         match = _PRAGMA_RE.search(text)
         if match is None:
@@ -223,7 +275,9 @@ def _parse_pragmas(lines: Sequence[str]) -> Tuple[Dict[int, Set[str]], Set[str]]
             per_file |= rules
         else:
             per_line.setdefault(lineno, set()).update(rules)
-    return per_line, per_file
+        if not text[match.end():].lstrip().startswith("--"):
+            unjustified.append(lineno)
+    return per_line, per_file, unjustified
 
 
 def _suppressed(finding: Finding, per_line: Dict[int, Set[str]],
@@ -266,10 +320,23 @@ def _relative_label(path: Path) -> str:
 
 # -- per-file scan ---------------------------------------------------------
 
+class ScanResult(NamedTuple):
+    """Picklable outcome of one file's scan (crosses the worker boundary)."""
+
+    findings: List[Finding]
+    suppressed: int
+    contributions: Dict[str, List[Any]]
+    pkg: Optional[str]
+    rel: str
+    pragmas: Tuple[Dict[int, Set[str]], Set[str]]
+
+
 def _scan_one(
-    path_str: str, select: Optional[frozenset]
-) -> Tuple[List[Finding], int, Dict[str, List[Any]], Optional[str]]:
-    """Scan one file: ``(findings, n_suppressed, contributions, pkg)``."""
+    path_str: str,
+    select: Optional[frozenset] = None,
+    whole_program: bool = False,
+) -> ScanResult:
+    """Parse one file *once* and run every applicable rule over it."""
     from repro.analysis.registry import all_rules
 
     path = Path(path_str)
@@ -281,12 +348,19 @@ def _scan_one(
         finding = Finding(path=rel, line=getattr(exc, "lineno", 1) or 1,
                           col=0, rule=PARSE_RULE_ID,
                           message=f"cannot parse file: {exc}")
-        return [finding], 0, {}, None
+        return ScanResult([finding], 0, {}, None, rel, ({}, set()))
 
-    ctx = FileContext(path, rel, source, tree)
-    per_line, per_file = _parse_pragmas(ctx.lines)
+    ctx = FileContext(path, rel, source, tree, whole_program=whole_program)
+    per_line, per_file, unjustified = _parse_pragmas(source, ctx.lines)
     findings: List[Finding] = []
     suppressed = 0
+    if whole_program:
+        for lineno in unjustified:
+            findings.append(Finding(
+                path=rel, line=lineno, col=0, rule=PRAGMA_RULE_ID,
+                message=("lint pragma lacks a '-- why' justification; "
+                         "every suppression must say why it is safe"),
+            ))
     for rule in all_rules():
         if select is not None and rule.id not in select:
             continue
@@ -297,7 +371,8 @@ def _scan_one(
                 suppressed += 1
             else:
                 findings.append(finding)
-    return findings, suppressed, ctx.contributions, ctx.pkg
+    return ScanResult(findings, suppressed, ctx.contributions, ctx.pkg,
+                      rel, (per_line, per_file))
 
 
 # -- reports ---------------------------------------------------------------
@@ -356,6 +431,7 @@ def lint_paths(
     select: Optional[Iterable[str]] = None,
     disable: Optional[Iterable[str]] = None,
     jobs: Optional[int] = None,
+    whole_program: bool = False,
 ) -> LintReport:
     """Lint files/directories; the API behind ``repro lint``.
 
@@ -363,7 +439,9 @@ def lint_paths(
     ids from the (possibly selected) set -- both validated against the
     registry so typos fail loudly.  ``jobs`` caps the worker processes
     (default: one per CPU, serial for small scans where pool start-up
-    would dominate).
+    would dominate).  ``whole_program`` arms the cross-module pass:
+    dataflow rules (DET004/SHARD001/TEL002) activate, and pragmas
+    without a ``-- why`` justification become E001 findings.
     """
     from repro.analysis.registry import all_rules, get_rule
 
@@ -382,7 +460,14 @@ def lint_paths(
     files = iter_python_files(paths)
     findings: List[Finding] = []
     suppressed = 0
-    project = ProjectState()
+    project = ProjectState(whole_program=whole_program)
+
+    def _absorb(result: ScanResult) -> None:
+        nonlocal suppressed
+        findings.extend(result.findings)
+        suppressed += result.suppressed
+        project.merge(result.contributions, result.pkg)
+        project.pragmas[result.rel] = result.pragmas
 
     if jobs is None:
         jobs = os.cpu_count() or 1
@@ -393,23 +478,21 @@ def lint_paths(
                 _scan_one,
                 [str(p) for p in files],
                 [selected] * len(files),
+                [whole_program] * len(files),
                 chunksize=max(1, len(files) // (jobs * 4)),
             )
-            for file_findings, n_suppressed, contributions, pkg in results:
-                findings.extend(file_findings)
-                suppressed += n_suppressed
-                project.merge(contributions, pkg)
+            for result in results:
+                _absorb(result)
     else:
         for path in files:
-            file_findings, n_suppressed, contributions, pkg = _scan_one(
-                str(path), selected
-            )
-            findings.extend(file_findings)
-            suppressed += n_suppressed
-            project.merge(contributions, pkg)
+            _absorb(_scan_one(str(path), selected, whole_program))
 
     for rule in all_rules():
         if rule.id in selected:
-            findings.extend(rule.finalize(project))
+            for finding in rule.finalize(project):
+                if project.suppressed(finding):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
 
     return LintReport(findings, n_files=len(files), suppressed=suppressed)

@@ -134,6 +134,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="record full telemetry and export it as JSONL")
     run.add_argument("--faults", metavar="PLAN.json", default=None,
                      help="inject faults from a JSON fault plan")
+    run.add_argument("--sanitize", metavar="PATH", default=None,
+                     help="run under the determinism sanitizer and export "
+                          "the draw/write ledger as JSONL")
+    run.add_argument("--backend", choices=("soa", "object"), default=None,
+                     help="peer-state backend (default: GridConfig default; "
+                          "the backends are sanitize-ledger-identical)")
 
     tel = sub.add_parser("telemetry", help="telemetry catalog and tools")
     tel_sub = tel.add_subparsers(dest="telemetry_action", required=True)
@@ -239,6 +245,27 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker processes (default: one per CPU)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the registered rules and exit")
+    lint.add_argument("--whole-program", action="store_true",
+                      help="arm the cross-module pass (DET004/SHARD001/"
+                           "TEL002) and require '-- why' on pragmas")
+
+    sanitize = sub.add_parser(
+        "sanitize", help="determinism sanitizer ledger tools"
+    )
+    san_sub = sanitize.add_subparsers(dest="sanitize_action", required=True)
+    san_cmp = san_sub.add_parser(
+        "compare", help="diff two draw/write ledgers (exit 1 on divergence)"
+    )
+    san_cmp.add_argument("ledger_a", help="first sanitize JSONL ledger")
+    san_cmp.add_argument("ledger_b", help="second sanitize JSONL ledger")
+    san_over = san_sub.add_parser(
+        "overhead", help="measure sanitizer overhead on the baseline scenario"
+    )
+    san_over.add_argument("--rate", type=float, default=100.0)
+    san_over.add_argument("--horizon", type=float, default=20.0)
+    san_over.add_argument("--seed", type=int, default=0)
+    san_over.add_argument("--repeat", type=int, default=3,
+                          help="runs per arm; the minimum wall time wins")
 
     from repro.serve.cli import (
         add_loadgen_arguments,
@@ -337,6 +364,8 @@ def _cmd_run(args) -> int:
     if args.algorithm == "qsa" and args.no_uptime_filter:
         options["uptime_filter"] = False
     config = config.with_algorithm(args.algorithm, **options)
+    if args.backend is not None:
+        config = config.with_backend(args.backend)
     if args.faults is not None:
         from repro.faults.plan import FaultPlan
 
@@ -362,6 +391,15 @@ def _cmd_run(args) -> int:
                   file=sys.stderr)
             return 1
         config = config.with_telemetry(args.telemetry)
+    if args.sanitize is not None:
+        try:
+            with open(args.sanitize, "w"):
+                pass
+        except OSError as exc:
+            print(f"cannot write sanitize ledger to {args.sanitize}: {exc}",
+                  file=sys.stderr)
+            return 1
+        config = config.with_sanitize(args.sanitize)
     result = run_experiment(config)
     print(result.summary())
     print(f"mean DHT lookup hops: {result.mean_lookup_hops:.2f}")
@@ -383,6 +421,9 @@ def _cmd_run(args) -> int:
               f"-> {args.telemetry}")
         print()
         print(result.telemetry_summary)
+    if args.sanitize is not None:
+        print(f"sanitize ledger:      {result.n_sanitize_records} records "
+              f"-> {args.sanitize}")
     return 0
 
 
@@ -641,6 +682,7 @@ def _cmd_lint(args) -> int:
             select=args.select,
             disable=args.disable,
             jobs=args.jobs,
+            whole_program=args.whole_program,
         )
     except KeyError as exc:
         print(str(exc.args[0]) if exc.args else str(exc), file=sys.stderr)
@@ -650,6 +692,66 @@ def _cmd_lint(args) -> int:
     else:
         print(report.render_text())
     return report.exit_code
+
+
+def _cmd_sanitize(args) -> int:
+    if args.sanitize_action == "compare":
+        from repro.sim.sanitizer import compare_ledger_files
+
+        try:
+            verdict = compare_ledger_files(args.ledger_a, args.ledger_b)
+        except OSError as exc:
+            print(f"cannot read ledger: {exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"malformed ledger: {exc}", file=sys.stderr)
+            return 2
+        print(verdict.render())
+        return 0 if verdict.identical else 1
+
+    # overhead: run the baseline scenario with the sanitizer off and on,
+    # prove telemetry byte-identity, and report the wall-clock delta.
+    import hashlib
+    import os
+    import tempfile
+    import time as _time  # lint: disable=DET001 -- overhead measurement is wall-clock by definition
+
+    def _arm(sanitize_path) -> tuple:
+        config = default_scale(args.rate, args.horizon, 0.0, args.seed)
+        with tempfile.NamedTemporaryFile(
+            mode="w", suffix=".jsonl", delete=False
+        ) as handle:
+            tel_path = handle.name
+        config = config.with_telemetry(tel_path)
+        if sanitize_path is not None:
+            config = config.with_sanitize(sanitize_path)
+        best = float("inf")
+        for _ in range(max(1, args.repeat)):
+            t0 = _time.perf_counter()  # lint: disable=DET001 -- measuring wall overhead, not sim state
+            run_experiment(config)
+            elapsed = _time.perf_counter() - t0  # lint: disable=DET001 -- same measurement
+            best = min(best, elapsed)
+        with open(tel_path, "rb") as fh:
+            digest = hashlib.blake2b(fh.read(), digest_size=16).hexdigest()
+        os.unlink(tel_path)
+        return best, digest
+
+    import os
+
+    with tempfile.NamedTemporaryFile(suffix=".jsonl", delete=False) as handle:
+        ledger_path = handle.name
+    off_s, off_digest = _arm(None)
+    on_s, on_digest = _arm(ledger_path)
+    os.unlink(ledger_path)
+    overhead = (on_s - off_s) / off_s if off_s else float("inf")
+    print(f"baseline rate={args.rate:g} horizon={args.horizon:g} "
+          f"seed={args.seed} (best of {max(1, args.repeat)})")
+    print(f"sanitizer off: {off_s:.3f}s  telemetry blake2b {off_digest}")
+    print(f"sanitizer on:  {on_s:.3f}s  telemetry blake2b {on_digest}")
+    print(f"overhead:      {overhead:+.1%}")
+    identical = off_digest == on_digest
+    print(f"telemetry byte-identical: {'yes' if identical else 'NO'}")
+    return 0 if identical else 1
 
 
 def _cmd_info(args) -> int:
@@ -691,6 +793,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "perf": _cmd_perf,
     "lint": _cmd_lint,
+    "sanitize": _cmd_sanitize,
     "info": _cmd_info,
 }
 

@@ -44,6 +44,10 @@ class ExperimentConfig:
     #: Write the run's telemetry event stream (JSONL) here; setting a
     #: path forces full telemetry recording on the grid for this run.
     telemetry_export: Optional[str] = None
+    #: Write the run's determinism-sanitizer ledger (JSONL) here; setting
+    #: a path forces ``GridConfig.sanitize`` on for this run.  Compare
+    #: two ledgers with ``repro sanitize compare A B``.
+    sanitize_export: Optional[str] = None
 
     def with_algorithm(self, name: str, **options) -> "ExperimentConfig":
         return replace(self, algorithm=name, algorithm_options=dict(options))
@@ -53,6 +57,15 @@ class ExperimentConfig:
 
     def with_telemetry(self, export_path: str) -> "ExperimentConfig":
         return replace(self, telemetry_export=export_path)
+
+    def with_sanitize(self, export_path: str) -> "ExperimentConfig":
+        """The same run with the determinism sanitizer recording."""
+        return replace(self, sanitize_export=export_path)
+
+    def with_backend(self, backend: str) -> "ExperimentConfig":
+        """The same run on the given peer-state backend (object / soa)."""
+        return replace(self, grid=replace(self.grid,
+                                          peer_state_backend=backend))
 
     def with_faults(self, plan) -> "ExperimentConfig":
         """The same run under a :class:`~repro.faults.FaultPlan`."""

@@ -48,6 +48,8 @@ class ExperimentResult:
     #: Set when the config asked for a telemetry export.
     n_telemetry_events: int = 0
     telemetry_summary: Optional[str] = None
+    #: Set when the config asked for a sanitizer ledger export.
+    n_sanitize_records: int = 0
     #: Fault-injection tallies (zero / None without an active plan).
     n_faults_injected: int = 0
     n_retries: int = 0
@@ -83,6 +85,8 @@ def run_experiment(
     needs_telemetry = config.telemetry_export is not None or profiler is not None
     if needs_telemetry and not grid_config.telemetry:
         grid_config = replace(grid_config, telemetry=True)
+    if config.sanitize_export is not None and not grid_config.sanitize:
+        grid_config = replace(grid_config, sanitize=True)
     grid = P2PGrid(grid_config)
     if profiler is not None:
         profiler.attach(grid)
@@ -119,6 +123,10 @@ def run_experiment(
         n_events = grid.telemetry.export_jsonl(config.telemetry_export)
         telemetry_summary = grid.telemetry.summary()
 
+    n_sanitize = 0
+    if config.sanitize_export is not None and grid.sanitizer is not None:
+        n_sanitize = grid.sanitizer.export_jsonl(config.sanitize_export)
+
     injector = grid.injector
     return ExperimentResult(
         config=config,
@@ -136,6 +144,7 @@ def run_experiment(
         n_admitted=metrics.n_admitted,
         n_telemetry_events=n_events,
         telemetry_summary=telemetry_summary,
+        n_sanitize_records=n_sanitize,
         n_faults_injected=injector.n_injected if injector else 0,
         n_retries=injector.n_retries if injector else 0,
         n_retries_exhausted=injector.n_exhausted if injector else 0,

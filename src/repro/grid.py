@@ -21,7 +21,10 @@ This is the main entry point of the library::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.sim.sanitizer import Sanitizer
 
 import numpy as np
 
@@ -148,6 +151,15 @@ class GridConfig:
     lookup_retry: RetryPolicy = field(default_factory=RetryPolicy)
     #: Retry budget + backoff for transient admission failures.
     admission_retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Determinism sanitizer (``grid.sanitizer``): per-stream RNG draw
+    #: ledger with epoch state hashes, plus a write barrier around peer
+    #: and session mutations.  Off by default -- when off, streams are
+    #: raw generators and no hook is ever consulted, so telemetry stays
+    #: byte-identical.  See docs/static-analysis.md ("The determinism
+    #: contract") and ``repro sanitize``.
+    sanitize: bool = False
+    #: Sim-time width of one sanitizer checkpoint epoch (minutes).
+    sanitize_epoch: float = 5.0
     #: Root seed for every RNG stream.
     seed: int = 0
 
@@ -179,7 +191,18 @@ class P2PGrid:
     ) -> None:
         self.config = config = config or GridConfig()
         self.sim = Simulator()
-        self.rngs = RngStreams(config.seed)
+        #: Optional determinism sanitizer; must exist before the RNG
+        #: factory (streams are wrapped at creation) and before the
+        #: first peer spawn (the write barrier sees every mutation).
+        self.sanitizer: Optional[Sanitizer] = None
+        if config.sanitize:
+            from repro.sim.sanitizer import Sanitizer as _Sanitizer
+
+            self.sanitizer = _Sanitizer(
+                clock=lambda: self.sim.now, epoch=config.sanitize_epoch
+            )
+            self.sanitizer.begin(config.seed)
+        self.rngs = RngStreams(config.seed, sanitizer=self.sanitizer)
         self.applications = list(
             applications or config.applications or default_applications()
         )
@@ -192,6 +215,7 @@ class P2PGrid:
             )
         else:
             self.directory = PeerDirectory(config.resource_names)
+        self.directory.sanitizer = self.sanitizer
         peer_rng = self.rngs.stream("peers")
         for _ in range(config.n_peers):
             self._spawn_peer_inner(
@@ -283,6 +307,7 @@ class P2PGrid:
             injector=self.injector,
             admission_retry=config.admission_retry,
         )
+        self.ledger.sanitizer = self.sanitizer
 
         # -- weights (Def. 3.1 normalizers from the translator's envelope) --
         self.composition_weights = WeightProfile.uniform(

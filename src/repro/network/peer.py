@@ -127,6 +127,12 @@ class PeerDirectory:
         self._alive_ids: List[int] = []
         self._alive_dirty = False
         self._next_id = 0
+        #: Membership generation: bumped on every create/depart, mirrors
+        #: :attr:`repro.network.soa.PeerStore.generation` so the two
+        #: backends stamp identical provenance into a sanitizer ledger.
+        self.generation = 0
+        #: Optional :class:`repro.sim.sanitizer.Sanitizer` write barrier.
+        self.sanitizer = None
 
     # -- population ----------------------------------------------------------
     def create_peer(
@@ -137,6 +143,9 @@ class PeerDirectory:
         peer = Peer(pid, capacity, access_bw, joined_at)
         self._peers[pid] = peer
         self._alive_ids.append(pid)
+        self.generation += 1
+        if self.sanitizer is not None:
+            self.sanitizer.note_write("network", "peer-create", self.generation)
         return peer
 
     def depart(self, peer_id: int, now: float) -> Peer:
@@ -145,6 +154,9 @@ class PeerDirectory:
             raise ValueError(f"peer {peer_id} already departed")
         peer.departed_at = now
         self._alive_dirty = True
+        self.generation += 1
+        if self.sanitizer is not None:
+            self.sanitizer.note_write("network", "peer-depart", self.generation)
         return peer
 
     # -- lookup ----------------------------------------------------------

@@ -316,6 +316,13 @@ class SoAPeerDirectory:
         self._alive_rows_cache: Optional[np.ndarray] = None
         self._next_id = 0
         self._n_total = 0
+        #: Optional :class:`repro.sim.sanitizer.Sanitizer` write barrier.
+        self.sanitizer = None
+
+    @property
+    def generation(self) -> int:
+        """Membership generation (the store's alloc/free counter)."""
+        return self.store.generation
 
     # -- population ------------------------------------------------------
     def create_peer(
@@ -339,6 +346,10 @@ class SoAPeerDirectory:
         self._alive_rows_cache = None
         view = PeerRowView(pid, self.store, row)
         self._views[pid] = view
+        if self.sanitizer is not None:
+            self.sanitizer.note_write(
+                "network", "peer-create", self.store.generation
+            )
         return view
 
     def depart(self, peer_id: int, now: float):
@@ -373,6 +384,10 @@ class SoAPeerDirectory:
         except ValueError:
             self._alive_dirty = True
         self._alive_rows_cache = None
+        if self.sanitizer is not None:
+            self.sanitizer.note_write(
+                "network", "peer-depart", self.store.generation
+            )
         return corpse
 
     # -- lookup ----------------------------------------------------------

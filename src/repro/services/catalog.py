@@ -99,12 +99,18 @@ class ServiceCatalog:
         """All instances implementing ``service`` (discovery result)."""
         return self.by_service.get(service, [])
 
-    def hosts(self, instance_id: str) -> Set[int]:
-        """Peers currently hosting a replica of ``instance_id``."""
-        return self.replicas.get(instance_id, set())
+    def hosts(self, instance_id: str) -> Tuple[int, ...]:
+        """Peers hosting a replica of ``instance_id``, ascending.
 
-    def hosted_instances(self, peer_id: int) -> Set[str]:
-        return self.hosted_by.get(peer_id, set())
+        Sorted tuple (not the live set): callers iterate this across the
+        module boundary, and handing out the internal set leaked both
+        hash ordering and mutable aliasing (TEL002).
+        """
+        return tuple(sorted(self.replicas.get(instance_id, ())))
+
+    def hosted_instances(self, peer_id: int) -> Tuple[str, ...]:
+        """Instance ids replicated on ``peer_id``, sorted."""
+        return tuple(sorted(self.hosted_by.get(peer_id, ())))
 
     @property
     def n_instances(self) -> int:

@@ -55,7 +55,7 @@ class Session:
         return self.start + self.duration
 
     @property
-    def participants(self) -> Set[int]:
+    def participants(self) -> Set[int]:  # lint: disable=TEL002 -- set-algebra API; every iterating consumer sorts first (session.py, diagnostics.py), the rest are membership tests
         """Provisioning peers (the user's own host is not provisioned)."""
         return set(self.peers)
 
@@ -95,6 +95,9 @@ class SessionLedger:
         #: under ``admission_retry`` before surfacing as a rejection.
         self.injector = injector
         self.admission_retry = admission_retry
+        #: Optional :class:`repro.sim.sanitizer.Sanitizer` write barrier;
+        #: set by the grid when ``GridConfig.sanitize`` is on.
+        self.sanitizer = None
         self._spans: Dict[int, object] = {}
         self._active: Dict[int, Session] = {}
         self._by_peer: Dict[int, Set[int]] = {}
@@ -136,6 +139,11 @@ class SessionLedger:
         for pid in sorted(session.participants | {user_peer}):
             self._by_peer.setdefault(pid, set()).add(session.session_id)
         self.n_admitted += 1
+        if self.sanitizer is not None:
+            self.sanitizer.note_write(
+                "sessions", "admit", self.directory.generation,
+                n=len(session.peers),
+            )
         self.sim.call_in(duration, self._complete, session.session_id)
         if self.tracer is not None:
             self.tracer.emit(
@@ -168,6 +176,11 @@ class SessionLedger:
         if session.released:
             return
         session.released = True
+        if self.sanitizer is not None:
+            self.sanitizer.note_write(
+                "sessions", "release", self.directory.generation,
+                n=len(session.peers),
+            )
         held_res = list(zip(session.peers, (i.resources for i in session.instances)))
         held_bw = session.connections()
         rollback_session(
@@ -305,7 +318,9 @@ class SessionLedger:
         else is.  Returns the failed sessions.
         """
         failed = []
-        for sid in list(self._by_peer.get(peer_id, ())):
+        # Sorted, not set order: failure order feeds telemetry and the
+        # rollback sequence, so it must not depend on hash order.
+        for sid in sorted(self._by_peer.get(peer_id, ())):
             session = self.fail_session(
                 sid, f"peer {peer_id} departed", skip_peer=peer_id
             )
@@ -330,6 +345,11 @@ class SessionLedger:
         old = session.participants | {session.user_peer}
         session.peers = tuple(new_peers)
         new = session.participants | {session.user_peer}
+        if self.sanitizer is not None:
+            self.sanitizer.note_write(
+                "sessions", "repair", self.directory.generation,
+                n=len(new_peers),
+            )
         for pid in old - new:
             members = self._by_peer.get(pid)
             if members is not None:
@@ -347,5 +367,11 @@ class SessionLedger:
     def active_sessions(self) -> List[Session]:
         return list(self._active.values())
 
-    def sessions_on_peer(self, peer_id: int) -> Set[int]:
-        return set(self._by_peer.get(peer_id, ()))
+    def sessions_on_peer(self, peer_id: int) -> List[int]:
+        """Session ids provisioned on ``peer_id``, ascending.
+
+        Sorted list (not the index's set): failure recovery iterates
+        this across the module boundary, and repair order must not
+        depend on hash order (TEL002).
+        """
+        return sorted(self._by_peer.get(peer_id, ()))

@@ -19,9 +19,12 @@ Usage::
 from __future__ import annotations
 
 import hashlib
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.sim.sanitizer import Sanitizer
 
 __all__ = ["RngStreams", "derive_seed"]
 
@@ -41,9 +44,13 @@ def derive_seed(root_seed: int, name: str) -> int:
 class RngStreams:
     """A factory of named :class:`numpy.random.Generator` streams."""
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0,
+                 sanitizer: Optional["Sanitizer"] = None) -> None:
         self.seed = int(seed)
         self._streams: Dict[str, np.random.Generator] = {}
+        #: Optional :class:`repro.sim.sanitizer.Sanitizer`: when set,
+        #: every stream is handed out behind a draw-counting proxy.
+        self.sanitizer = sanitizer
 
     def stream(self, name: str) -> np.random.Generator:
         """Return the generator for ``name``, creating it on first use.
@@ -54,7 +61,11 @@ class RngStreams:
         """
         gen = self._streams.get(name)
         if gen is None:
-            gen = np.random.default_rng(derive_seed(self.seed, name))
+            raw = np.random.default_rng(derive_seed(self.seed, name))
+            if self.sanitizer is not None:
+                gen = self.sanitizer.wrap_stream(name, raw)
+            else:
+                gen = raw
             self._streams[name] = gen
         return gen
 

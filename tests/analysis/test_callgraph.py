@@ -1,0 +1,106 @@
+"""Unit tests for the whole-program import graph and plane naming."""
+
+from __future__ import annotations
+
+from repro.analysis.callgraph import (
+    ImportGraph,
+    ModuleFacts,
+    build_graph,
+    module_name_of_pkg,
+    plane_of_module,
+)
+
+
+class TestModuleNaming:
+    def test_nested_module(self):
+        assert module_name_of_pkg("sim/rng.py") == "repro.sim.rng"
+
+    def test_package_init_collapses(self):
+        assert module_name_of_pkg("sim/__init__.py") == "repro.sim"
+        assert module_name_of_pkg("__init__.py") == "repro"
+
+    def test_top_level_module(self):
+        assert module_name_of_pkg("grid.py") == "repro.grid"
+
+    def test_non_python_is_none(self):
+        assert module_name_of_pkg("py.typed") is None
+
+
+class TestPlaneNaming:
+    def test_subsystem_plane_is_first_component(self):
+        assert plane_of_module("repro.network.churn") == "network"
+        assert plane_of_module("repro.sim.rng") == "sim"
+        assert plane_of_module("repro.analysis.engine") == "analysis"
+
+    def test_top_level_wiring_modules(self):
+        assert plane_of_module("repro.grid") == "grid"
+        assert plane_of_module("repro.cli") == "cli"
+        assert plane_of_module("repro.__main__") == "cli"
+        assert plane_of_module("repro") == "top"
+
+    def test_foreign_module_is_none(self):
+        assert plane_of_module("numpy.random") is None
+
+
+def facts(module, imports=(), rel=None):
+    plane = plane_of_module(module) or "top"
+    return ModuleFacts(
+        module=module, plane=plane,
+        rel=rel or module.replace(".", "/") + ".py",
+        imports=tuple(imports),
+    )
+
+
+class TestBuildGraph:
+    def test_forward_and_reverse_edges(self):
+        graph = build_graph([
+            facts("repro.sim.rng"),
+            facts("repro.network.churn", imports=["repro.sim.rng"]),
+        ])
+        assert graph.imports["repro.network.churn"] == {"repro.sim.rng"}
+        assert graph.imported_by["repro.sim.rng"] == {"repro.network.churn"}
+        assert graph.importer_planes("repro.sim.rng") == {"network"}
+
+    def test_from_import_of_a_name_resolves_to_its_module(self):
+        # "from repro.sim.rng import RngStreams" records the module path;
+        # an attribute-qualified target resolves to its longest scanned
+        # module prefix.
+        graph = build_graph([
+            facts("repro.sim.rng"),
+            facts("repro.grid", imports=["repro.sim.rng.RngStreams"]),
+        ])
+        assert graph.imported_by["repro.sim.rng"] == {"repro.grid"}
+
+    def test_unscanned_repro_target_still_collects_importers(self):
+        # A partial scan may miss the imported file; the edge lands on
+        # the dotted name itself so under-reporting stays monotone.
+        graph = build_graph([
+            facts("repro.sessions.session", imports=["repro.network.peer"]),
+        ])
+        assert graph.imported_by["repro.network.peer"] == {
+            "repro.sessions.session"
+        }
+        # Plane resolution still works for unscanned repro modules.
+        assert graph.plane("repro.network.peer") == "network"
+
+    def test_self_import_is_not_an_edge(self):
+        graph = build_graph([
+            facts("repro.sim.rng", imports=["repro.sim.rng"]),
+        ])
+        assert "repro.sim.rng" not in graph.imported_by
+
+    def test_importer_planes_merge_across_modules(self):
+        graph = build_graph([
+            facts("repro.sim.rng"),
+            facts("repro.network.churn", imports=["repro.sim.rng"]),
+            facts("repro.sessions.session", imports=["repro.sim.rng"]),
+            facts("repro.sim.engine", imports=["repro.sim.rng"]),
+        ])
+        assert graph.importer_planes("repro.sim.rng") == {
+            "network", "sessions", "sim"
+        }
+
+    def test_empty_graph(self):
+        graph = build_graph([])
+        assert isinstance(graph, ImportGraph)
+        assert graph.importer_planes("repro.sim.rng") == set()

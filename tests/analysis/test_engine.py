@@ -168,3 +168,89 @@ class TestCli:
         assert proc.returncode == 0
         for rule_id in ("DET001", "DET002", "DET003", "TEL001", "CACHE001"):
             assert rule_id in proc.stdout
+
+
+class TestPragmaJustification:
+    # E001: under --whole-program every pragma must carry a `-- why`.
+    def test_unjustified_pragma_fires_under_whole_program(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "import time\nt = time.time()  # lint: disable=DET001\n",
+            whole_program=True,
+        )
+        assert [f.rule for f in report.findings] == ["E001"]
+        assert report.suppressed == 1  # the pragma itself still suppresses
+
+    def test_justified_pragma_is_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "import time\n"
+            "t = time.time()  # lint: disable=DET001 -- fixture timing\n",
+            whole_program=True,
+        )
+        assert report.ok
+
+    def test_default_scan_does_not_require_justification(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "import time\nt = time.time()  # lint: disable=DET001\n",
+        )
+        assert report.ok
+
+    def test_pragma_text_in_a_docstring_is_ignored(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            '"""Mentions # lint: disable=DET001 in prose."""\nx = 1\n',
+            whole_program=True,
+        )
+        assert report.ok
+
+
+class TestParseOnce:
+    # The engine parses each file exactly once per scan and shares one
+    # materialised node list across every rule (the lint-engine perf
+    # fix); a second parse or walk per rule would regress scan time by
+    # the rule count.
+    def test_each_file_is_parsed_exactly_once(self, tmp_path, monkeypatch):
+        import ast
+
+        from repro.analysis import engine
+
+        for i in range(3):
+            (tmp_path / f"m{i}.py").write_text(
+                "import time\nt = time.time()\n"
+            )
+        real_parse = ast.parse
+        calls = []
+
+        def counting_parse(source, *args, **kwargs):
+            calls.append(1)
+            return real_parse(source, *args, **kwargs)
+
+        monkeypatch.setattr(engine.ast, "parse", counting_parse)
+        report = lint_paths([tmp_path], jobs=1)
+        assert len(report.findings) == 3
+        assert len(calls) == 3
+
+    def test_walk_materialises_the_tree_once(self, monkeypatch):
+        import ast
+
+        from repro.analysis import engine
+        from repro.analysis.engine import FileContext
+
+        source = "import time\nx = time.time()\n"
+        ctx = FileContext(
+            Path("m.py"), "m.py", source, ast.parse(source)
+        )
+        real_walk = ast.walk
+        calls = []
+
+        def counting_walk(tree):
+            calls.append(1)
+            return real_walk(tree)
+
+        monkeypatch.setattr(engine.ast, "walk", counting_walk)
+        list(ctx.walk())
+        list(ctx.walk(ast.Call))
+        list(ctx.walk(ast.Import, ast.ImportFrom))
+        assert len(calls) == 1

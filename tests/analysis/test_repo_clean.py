@@ -20,6 +20,14 @@ def test_repo_is_lint_clean():
     assert report.ok, "\n" + report.render_text()
 
 
+def test_repo_is_whole_program_clean():
+    # The cross-module pass: stream aliasing (DET004), shared mutable
+    # state (SHARD001), set escapes (TEL002) and pragma justification
+    # (E001) across the entire source tree.
+    report = lint_paths([REPO / "src", REPO / "tests"], whole_program=True)
+    assert report.ok, "\n" + report.render_text()
+
+
 def test_repo_scan_covers_the_full_scan_markers():
     # The TEL001 dead-entry reverse check only arms on a full scan; make
     # sure the default paths actually constitute one, so catalog rot
@@ -31,6 +39,7 @@ def test_repo_scan_covers_the_full_scan_markers():
     from repro.analysis.engine import iter_python_files
 
     for path in iter_python_files([REPO / "src"]):
-        _, _, contributions, pkg = _scan_one(str(path), None)
-        project.scanned_pkgs.add(pkg)
+        result = _scan_one(str(path), None)
+        if result.pkg is not None:
+            project.scanned_pkgs.add(result.pkg)
     assert _FULL_SCAN_MARKERS <= project.scanned_pkgs

@@ -95,7 +95,7 @@ class TestChurnMutation:
         pid = next(iter(catalog.hosted_by))
         hosted = set(catalog.hosted_instances(pid))
         catalog.remove_peer(pid)
-        assert catalog.hosted_instances(pid) == set()
+        assert catalog.hosted_instances(pid) == ()
         for iid in hosted:
             assert pid not in catalog.hosts(iid)
 

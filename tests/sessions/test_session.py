@@ -130,7 +130,7 @@ class TestPeerFailure:
     def test_sessions_on_peer_tracking(self):
         sim, d, net, ledger, _ = make()
         s = ledger.admit(1, 0, [inst("a/0")], [1], 10.0)
-        assert ledger.sessions_on_peer(1) == {s.session_id}
-        assert ledger.sessions_on_peer(0) == {s.session_id}  # user side
+        assert ledger.sessions_on_peer(1) == [s.session_id]
+        assert ledger.sessions_on_peer(0) == [s.session_id]  # user side
         sim.run(until=11.0)
-        assert ledger.sessions_on_peer(1) == set()
+        assert ledger.sessions_on_peer(1) == []

@@ -116,7 +116,7 @@ class TestChurnIntegration:
         assert pid is not None
         assert not g.directory.is_alive(pid)
         assert pid not in g.ring
-        assert g.catalog.hosted_instances(pid) == set()
+        assert g.catalog.hosted_instances(pid) == ()
         for iid in g.catalog.instances:
             assert pid not in g.catalog.hosts(iid)
 
